@@ -1,0 +1,59 @@
+//! Finding 13 / §5.4: the findings-guided test generator versus naive
+//! random testing. Criterion measures cost per exploration batch; the
+//! bench also prints the hit rates (the shape the paper claims: guided
+//! testing reproduces the failures; unguided testing mostly misses).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neat::explore::{explore, Strategy};
+
+fn exploration(c: &mut Criterion) {
+    // Print the efficiency comparison once, so `cargo bench` output
+    // contains the Finding-13 evidence alongside the timings.
+    for (name, config) in [
+        ("voltdb-flawed", repkv::Config::voltdb()),
+        ("es-flawed", repkv::Config::elasticsearch()),
+        ("fixed-baseline", repkv::Config::fixed()),
+    ] {
+        let mut target = repkv::RepkvTarget::new(config);
+        let guided = explore(&mut target, &Strategy::findings_guided(), 30, 99);
+        let naive = explore(&mut target, &Strategy::naive(3), 30, 99);
+        println!(
+            "exploration {name:<16} guided {:>2}/30 (first #{:?})  naive {:>2}/30",
+            guided.trials_with_violation, guided.first_violation_trial, naive.trials_with_violation
+        );
+    }
+
+    let mut g = c.benchmark_group("exploration");
+    g.bench_function("guided_10_trials_voltdb", |b| {
+        let mut target = repkv::RepkvTarget::new(repkv::Config::voltdb());
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            explore(&mut target, &Strategy::findings_guided(), 10, seed).trials_with_violation
+        })
+    });
+    g.bench_function("naive_10_trials_voltdb", |b| {
+        let mut target = repkv::RepkvTarget::new(repkv::Config::voltdb());
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            explore(&mut target, &Strategy::naive(3), 10, seed).trials_with_violation
+        })
+    });
+    g.bench_function("guided_10_trials_raft_baseline", |b| {
+        let mut target = consensus::RaftTarget::new(consensus::RaftTweaks::default(), 3);
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            explore(&mut target, &Strategy::findings_guided(), 10, seed).trials_with_violation
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = exploration
+}
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Per-scenario benches: how long each reproduced failure takes to run end
+//! to end under the NEAT engine, flawed configuration vs repaired baseline
+//! (the DESIGN.md ablations). Virtual time is free; this measures the real
+//! cost of simulating each manifestation sequence.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn repkv_scenarios(c: &mut Criterion) {
+    let mut g = c.benchmark_group("repkv");
+    g.bench_function("fig2_dirty_read_flawed", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            repkv::scenarios::dirty_and_stale_read(repkv::Config::voltdb(), seed, false)
+                .violations
+                .len()
+        })
+    });
+    g.bench_function("fig2_dirty_read_fixed", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            repkv::scenarios::dirty_and_stale_read(repkv::Config::fixed(), seed, false)
+                .violations
+                .len()
+        })
+    });
+    g.bench_function("listing1_data_loss_flawed", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            repkv::scenarios::listing1_data_loss(repkv::Config::elasticsearch(), seed, false)
+                .violations
+                .len()
+        })
+    });
+    g.finish();
+}
+
+fn grid_scenarios(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gridstore");
+    g.bench_function("fig5_semaphore_flawed", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            gridstore::scenarios::semaphore_double_lock(gridstore::GridFlaws::flawed(), seed, false)
+                .violations
+                .len()
+        })
+    });
+    g.bench_function("fig5_semaphore_protected", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            gridstore::scenarios::semaphore_double_lock(gridstore::GridFlaws::fixed(), seed, false)
+                .violations
+                .len()
+        })
+    });
+    g.finish();
+}
+
+fn consensus_scenarios(c: &mut Criterion) {
+    let mut g = c.benchmark_group("consensus");
+    g.bench_function("rethinkdb_reconfig_tweaked", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            consensus::scenarios::rethinkdb_reconfig_split_brain(
+                consensus::RaftTweaks {
+                    delete_log_on_remove: true,
+                },
+                seed,
+                false,
+            )
+            .violations
+            .len()
+        })
+    });
+    g.bench_function("rethinkdb_reconfig_proven", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            consensus::scenarios::rethinkdb_reconfig_split_brain(
+                consensus::RaftTweaks::default(),
+                seed,
+                false,
+            )
+            .violations
+            .len()
+        })
+    });
+    g.finish();
+}
+
+fn full_campaign(c: &mut Criterion) {
+    let mut g = c.benchmark_group("campaign");
+    g.sample_size(10);
+    g.bench_function("all_scenarios_flawed_and_fixed", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            neat_repro::campaign::run_all_scenarios(seed).len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = repkv_scenarios, grid_scenarios, consensus_scenarios, full_campaign
+}
+criterion_main!(benches);

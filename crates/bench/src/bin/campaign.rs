@@ -1,0 +1,7 @@
+//! Runs the full NEAT campaign (§6.4): every scenario, flawed vs fixed,
+//! and the regenerated Table 15.
+
+fn main() {
+    let results = neat_repro::campaign::run_all_scenarios(7);
+    println!("{}", neat_repro::campaign::render(&results));
+}

@@ -1,0 +1,10 @@
+//! Exports the 136-failure catalog as JSON — the reproduction's analogue
+//! of the paper's released data set. Writes to stdout.
+
+fn main() {
+    let catalog = study::catalog();
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&catalog).expect("catalog serializes")
+    );
+}

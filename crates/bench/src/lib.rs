@@ -1,0 +1,33 @@
+//! Shared helpers for the table/figure regenerators and benches.
+//!
+//! The binaries:
+//!
+//! - `cargo run -p bench --bin tables` — Tables 1–13 plus the headline
+//!   findings, paper value vs recomputed value.
+//! - `cargo run -p bench --bin figures` — Figures 1, 2, 3, 5, 6 and the
+//!   Finding-13 exploration experiment, with manifestation traces.
+//! - `cargo run -p bench --bin campaign` — the §6.4 campaign and Table 15.
+//! - `cargo run -p bench --bin export` — the failure catalog as JSON (the
+//!   paper's released data set).
+//!
+//! The Criterion benches (`cargo bench -p bench`) measure framework
+//! overhead (Figure 4's architecture), scenario runtimes (flawed vs fixed),
+//! and the exploration strategies' bug-finding efficiency.
+
+/// Renders a horizontal bar for quick shape comparison in terminal output.
+pub fn bar(pct: f64) -> String {
+    let n = (pct / 2.0).round().clamp(0.0, 50.0) as usize;
+    "#".repeat(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(0.0), "");
+        assert_eq!(bar(100.0).len(), 50);
+        assert_eq!(bar(10.0).len(), 5);
+    }
+}

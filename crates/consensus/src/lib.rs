@@ -1,0 +1,23 @@
+//! Raft consensus — the paper's "proven, strongly consistent protocol"
+//! baseline — plus the RethinkDB tweak that breaks it.
+//!
+//! The paper (§2.2, §4.4) observes that systems implementing proven
+//! protocols "often tweak these protocols in unproven ways". RethinkDB's
+//! tweak: *a replica removed from the cluster deletes its Raft log*. With a
+//! partial partition, the deleted log erases the membership-change entry,
+//! the removed replica happily participates in the **old** configuration,
+//! and two disjoint majorities commit writes for the same keys
+//! (issue #5289). [`RaftTweaks::delete_log_on_remove`] reproduces it;
+//! leaving the flag off gives the correct Raft behaviour the benches use as
+//! the baseline.
+
+pub mod client;
+pub mod explorer;
+pub mod cluster;
+pub mod raft;
+pub mod scenarios;
+
+pub use client::RaftClient;
+pub use cluster::{RaftCluster, RaftClusterSpec, RaftProc};
+pub use raft::{Cmd, RaftMsg, RaftNode, RaftRole, RaftTweaks};
+pub use explorer::RaftTarget;

@@ -1,0 +1,140 @@
+//! The RethinkDB reconfiguration failure (issue #5289, §4.4) as a seeded
+//! scenario, plus the proven-Raft baseline run of the same sequence.
+
+use std::collections::BTreeMap;
+
+use neat::{
+    checkers::{check_register, RegisterSemantics},
+    rest_of, Violation, ViolationKind,
+};
+use crate::{
+    cluster::{RaftCluster, RaftClusterSpec},
+    raft::RaftTweaks,
+};
+
+/// Result of the reconfiguration scenario.
+#[derive(Debug)]
+pub struct ReconfigOutcome {
+    /// Checker violations (data loss when the tweak is on).
+    pub violations: Vec<Violation>,
+    /// Whether two leaders each committed writes during the partition.
+    pub dual_majorities: bool,
+    /// Final per-key state from the surviving leader.
+    pub final_state: BTreeMap<String, Option<u64>>,
+    /// Manifestation trace (when recorded).
+    pub trace: String,
+}
+
+impl ReconfigOutcome {
+    /// `true` when a violation of `kind` was found.
+    pub fn has(&self, kind: ViolationKind) -> bool {
+        self.violations.iter().any(|v| v.kind == kind)
+    }
+}
+
+/// Issue #5289. Five replicas; a partial partition splits `{A, B}` from
+/// `{D, E}` while `C` bridges. The admin shrinks the cluster to `{D, E}`;
+/// the removed `C` deletes its Raft log (when the tweak is on), forgets the
+/// removal, and helps `{A, B}` form a *second* majority in the old
+/// configuration. Both sides then commit writes for the same key space.
+pub fn rethinkdb_reconfig_split_brain(
+    tweaks: RaftTweaks,
+    seed: u64,
+    record: bool,
+) -> ReconfigOutcome {
+    let mut cluster = RaftCluster::build(RaftClusterSpec {
+        servers: 5,
+        clients: 2,
+        tweaks,
+        seed,
+        record_trace: record,
+    });
+    let d = cluster.wait_for_leader(3000).expect("initial leader");
+    let others = rest_of(&cluster.servers, &[d]);
+    let (e, c, a, b) = (others[0], others[1], others[2], others[3]);
+
+    // Baseline data everyone has.
+    let admin = cluster.client(0).via(d);
+    admin.put(&mut cluster.neat, "base", 1);
+
+    // Partial partition: {A, B} | {D, E}; C and the clients bridge.
+    let p = cluster.neat.partition_partial(&[a, b], &[d, e]);
+
+    // The admin asks the leader to shrink the replica set to {D, E}.
+    admin.reconfigure(&mut cluster.neat, vec![d, e]);
+    cluster.settle(800);
+
+    // Old side: A (or B) campaigns in the old configuration. With the
+    // tweak, C's blank log lets it win a 3-of-5 majority.
+    cluster.settle(1200);
+    let left_leader = [a, b, c]
+        .into_iter()
+        .find(|&s| cluster.leaders().contains(&s));
+
+    // Writes on both sides of the partition.
+    let left_ok = match left_leader {
+        Some(l) => cluster
+            .client(0)
+            .via(l)
+            .put(&mut cluster.neat, "left", 10)
+            .is_ok(),
+        None => {
+            // Still record the attempt so the history shows the outcome.
+            !matches!(
+                cluster.client(0).via(a).put(&mut cluster.neat, "left", 10),
+                neat::Outcome::Fail | neat::Outcome::Timeout
+            )
+        }
+    };
+    let right_ok = cluster
+        .client(1)
+        .via(d)
+        .put(&mut cluster.neat, "right", 20)
+        .is_ok();
+    let dual_majorities = left_ok && right_ok;
+
+    cluster.neat.heal(&p);
+    cluster.settle(3000);
+
+    let final_state = cluster.final_state(&["base", "left", "right"]);
+    let violations = check_register(
+        cluster.neat.history(),
+        RegisterSemantics::Strong,
+        &final_state,
+    );
+    ReconfigOutcome {
+        violations,
+        dual_majorities,
+        final_state,
+        trace: cluster.neat.world.trace().summary(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tweaked_raft_forms_two_majorities_and_loses_data() {
+        let out = rethinkdb_reconfig_split_brain(
+            RaftTweaks {
+                delete_log_on_remove: true,
+            },
+            21,
+            false,
+        );
+        assert!(out.dual_majorities, "{:?}", out.final_state);
+        assert!(out.has(ViolationKind::DataLoss), "{:?}", out.violations);
+    }
+
+    #[test]
+    fn proven_raft_stays_safe_under_the_same_sequence() {
+        let out = rethinkdb_reconfig_split_brain(RaftTweaks::default(), 21, false);
+        assert!(!out.dual_majorities);
+        assert!(
+            !out.has(ViolationKind::DataLoss),
+            "{:?}",
+            out.violations
+        );
+    }
+}

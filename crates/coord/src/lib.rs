@@ -1,0 +1,30 @@
+//! A ZooKeeper-like coordination service with the paper's documented
+//! synchronization flaws.
+//!
+//! The service provides a replicated hierarchical namespace (znodes) with
+//! quorum writes, local reads, heartbeat sessions, and ephemeral nodes —
+//! the substrate other systems in this workspace use for leader tracking,
+//! exactly as ActiveMQ uses ZooKeeper in the paper's Figure 6.
+//!
+//! Seeded flaws (see [`CoordFlaws`]):
+//!
+//! - **ZOOKEEPER-2099** — storage (snapshot) sync does not update the
+//!   in-memory transaction log; a later in-memory-log sync from that node
+//!   replicates a log with a hole and corrupts the learner's tree.
+//! - **ZOOKEEPER-2355** — ephemeral cleanup abandoned when a follower is
+//!   unreachable; a dead session's lock nodes survive forever.
+//!
+//! [`CoordServer`] and [`CoordSession`] are generic over [`CoordWire`] so a
+//! host system can embed ensemble members and sessions inside its own
+//! message type.
+
+pub mod client;
+pub mod cluster;
+pub mod msg;
+pub mod scenarios;
+pub mod server;
+
+pub use client::{CoordClient, CoordClientProc, CoordSession};
+pub use cluster::{CoordCluster, CoordProc};
+pub use msg::{CoordMsg, CoordReq, CoordResp, CoordWire, Tree, Txn, TxnKind, Znode};
+pub use server::{CoordFlaws, CoordRole, CoordServer};

@@ -1,0 +1,22 @@
+//! Distributed storage models from the study:
+//!
+//! - [`hdfs`] — NameNode / rack-aware DataNodes: the HDFS-1384 placement
+//!   retry loop and the HDFS-577 simplex heartbeat failure.
+//! - [`moose`] — MooseFS-like master/chunkserver: the client hang
+//!   (moosefs #132) and inconsistent metadata (moosefs #131).
+//! - [`objstore`] — Ceph-like OSDs with majority commit: naive recovery
+//!   resurrects deleted objects and rolls back acknowledged writes
+//!   (ceph #24193).
+//! - [`hbase`] — HBase-like HMaster/RegionServer over a shared log store:
+//!   writes acknowledged into a freshly rolled log are lost when the
+//!   master's split misses it (HBASE-2312).
+
+pub mod hbase;
+pub mod hdfs;
+pub mod moose;
+pub mod objstore;
+
+pub use hbase::{log_roll_data_loss, HbCluster, HbFlaws};
+pub use hdfs::{rack_placement_retry, simplex_healthy_node, HdfsCluster, HdfsFlaws};
+pub use moose::{client_hang, inconsistent_metadata, MooseCluster, MooseFlaws};
+pub use objstore::{recovery_resurrection, ObjCluster, ObjFlaws};

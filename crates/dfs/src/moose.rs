@@ -1,0 +1,444 @@
+//! The MooseFS-like file system: one master, chunkservers, a client.
+//!
+//! NEAT findings (Table 15):
+//!
+//! - **moosefs #132** — a partial partition separates the client from a
+//!   chunkserver while the master still reaches it; the master keeps
+//!   pointing the client at that chunkserver and the client hangs forever
+//!   ([`MooseFlaws::never_offer_alternative`]).
+//! - **moosefs #131** — the master records new-file metadata before the
+//!   chunk write is confirmed; when the partition kills the chunk write,
+//!   the file exists in metadata with no data — an inconsistent file
+//!   system ([`MooseFlaws::metadata_before_data`]).
+
+use std::collections::BTreeMap;
+
+use neat::{Violation, ViolationKind};
+use simnet::{Application, Ctx, NodeId, TimerId, WorldBuilder};
+
+/// Flaw toggles.
+#[derive(Clone, Copy, Debug)]
+pub struct MooseFlaws {
+    /// #132: keep directing the client to the same chunkserver forever.
+    pub never_offer_alternative: bool,
+    /// #131: commit metadata before the chunk data is confirmed.
+    pub metadata_before_data: bool,
+}
+
+/// Wire protocol.
+#[derive(Clone, Debug)]
+pub enum MooseMsg {
+    /// Client → master: create `file`, get a chunkserver to write to.
+    Create {
+        op_id: u64,
+        file: u64,
+        excluded: Vec<NodeId>,
+    },
+    CreateResp { op_id: u64, cs: Option<NodeId> },
+    /// Client → chunkserver.
+    WriteChunk { op_id: u64, file: u64 },
+    WriteChunkAck { op_id: u64 },
+    /// Client → master: confirm the chunk was written (fixed mode commits
+    /// metadata here).
+    Confirm { op_id: u64, file: u64 },
+    ConfirmAck { op_id: u64 },
+    /// Client → master: does `file` exist, and where is its data?
+    Stat { op_id: u64, file: u64 },
+    StatResp {
+        op_id: u64,
+        exists: bool,
+        cs: Option<NodeId>,
+    },
+    /// Client → chunkserver.
+    ReadChunk { op_id: u64, file: u64 },
+    ReadChunkResp { op_id: u64, found: bool },
+}
+
+/// Master metadata per file.
+#[derive(Clone, Copy, Debug)]
+struct FileMeta {
+    cs: NodeId,
+    confirmed: bool,
+}
+
+/// The master server.
+pub struct Master {
+    chunkservers: Vec<NodeId>,
+    flaws: MooseFlaws,
+    files: BTreeMap<u64, FileMeta>,
+}
+
+impl Master {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, MooseMsg>, from: NodeId, msg: MooseMsg) {
+        match msg {
+            MooseMsg::Create {
+                op_id,
+                file,
+                excluded,
+            } => {
+                let cs = if self.flaws.never_offer_alternative {
+                    // #132: the placement decision is sticky.
+                    Some(self.chunkservers[file as usize % self.chunkservers.len()])
+                } else {
+                    self.chunkservers
+                        .iter()
+                        .copied()
+                        .find(|c| !excluded.contains(c))
+                };
+                if let Some(cs) = cs {
+                    if self.flaws.metadata_before_data {
+                        // #131: the file exists as soon as it is created.
+                        self.files.insert(file, FileMeta { cs, confirmed: true });
+                    } else {
+                        self.files.insert(file, FileMeta { cs, confirmed: false });
+                    }
+                }
+                ctx.send(from, MooseMsg::CreateResp { op_id, cs });
+            }
+            MooseMsg::Confirm { op_id, file } => {
+                if let Some(m) = self.files.get_mut(&file) {
+                    m.confirmed = true;
+                }
+                ctx.send(from, MooseMsg::ConfirmAck { op_id });
+            }
+            MooseMsg::Stat { op_id, file } => {
+                let meta = self.files.get(&file).filter(|m| m.confirmed);
+                ctx.send(
+                    from,
+                    MooseMsg::StatResp {
+                        op_id,
+                        exists: meta.is_some(),
+                        cs: meta.map(|m| m.cs),
+                    },
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A chunkserver.
+#[derive(Default)]
+pub struct ChunkServer {
+    pub chunks: Vec<u64>,
+}
+
+/// The client process.
+#[derive(Default)]
+pub struct MooseClientState {
+    next: u64,
+    creates: BTreeMap<u64, Option<NodeId>>,
+    write_acks: BTreeMap<u64, bool>,
+    confirms: BTreeMap<u64, bool>,
+    stats: BTreeMap<u64, (bool, Option<NodeId>)>,
+    reads: BTreeMap<u64, bool>,
+}
+
+/// A node of the MooseFS deployment.
+pub enum MooseProc {
+    Master(Master),
+    Cs(ChunkServer),
+    Client(MooseClientState),
+}
+
+impl Application for MooseProc {
+    type Msg = MooseMsg;
+
+    fn on_start(&mut self, _ctx: &mut Ctx<'_, MooseMsg>) {}
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, MooseMsg>, from: NodeId, msg: MooseMsg) {
+        match self {
+            MooseProc::Master(m) => m.on_message(ctx, from, msg),
+            MooseProc::Cs(cs) => match msg {
+                MooseMsg::WriteChunk { op_id, file } => {
+                    cs.chunks.push(file);
+                    ctx.send(from, MooseMsg::WriteChunkAck { op_id });
+                }
+                MooseMsg::ReadChunk { op_id, file } => {
+                    let found = cs.chunks.contains(&file);
+                    ctx.send(from, MooseMsg::ReadChunkResp { op_id, found });
+                }
+                _ => {}
+            },
+            MooseProc::Client(c) => match msg {
+                MooseMsg::CreateResp { op_id, cs } => {
+                    c.creates.insert(op_id, cs);
+                }
+                MooseMsg::WriteChunkAck { op_id } => {
+                    c.write_acks.insert(op_id, true);
+                }
+                MooseMsg::ConfirmAck { op_id } => {
+                    c.confirms.insert(op_id, true);
+                }
+                MooseMsg::StatResp { op_id, exists, cs } => {
+                    c.stats.insert(op_id, (exists, cs));
+                }
+                MooseMsg::ReadChunkResp { op_id, found } => {
+                    c.reads.insert(op_id, found);
+                }
+                _ => {}
+            },
+        }
+    }
+
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, MooseMsg>, _t: TimerId, _tag: u64) {}
+}
+
+/// The deployment: master, three chunkservers, one client.
+pub struct MooseCluster {
+    pub neat: neat::Neat<MooseProc>,
+    pub master: NodeId,
+    pub chunkservers: Vec<NodeId>,
+    pub client: NodeId,
+}
+
+impl MooseCluster {
+    /// Builds the deployment.
+    pub fn build(flaws: MooseFlaws, seed: u64, record: bool) -> Self {
+        let master = NodeId(0);
+        let chunkservers: Vec<NodeId> = (1..=3).map(NodeId).collect();
+        let client = NodeId(4);
+        let cs_for_build = chunkservers.clone();
+        let world = WorldBuilder::new(seed).record_trace(record).build(5, |id| {
+            if id == master {
+                MooseProc::Master(Master {
+                    chunkservers: cs_for_build.clone(),
+                    flaws,
+                    files: BTreeMap::new(),
+                })
+            } else if id.0 <= 3 {
+                MooseProc::Cs(ChunkServer::default())
+            } else {
+                MooseProc::Client(MooseClientState::default())
+            }
+        });
+        Self {
+            neat: neat::Neat::new(world),
+            master,
+            chunkservers,
+            client,
+        }
+    }
+
+    fn next_op(&mut self) -> u64 {
+        self.neat
+            .world
+            .call(self.client, |p, _| match p {
+                MooseProc::Client(c) => {
+                    c.next += 1;
+                    c.next
+                }
+                _ => unreachable!(),
+            })
+            .expect("client alive")
+    }
+
+    fn wait<R: 'static>(
+        &mut self,
+        mut take: impl FnMut(&mut MooseClientState) -> Option<R>,
+        timeout: u64,
+    ) -> Option<R> {
+        let client = self.client;
+        let saved = self.neat.op_timeout;
+        self.neat.op_timeout = timeout;
+        let r = self.neat.run_op(
+            |_| Ok(()),
+            |w| match w.app_mut(client) {
+                MooseProc::Client(c) => take(c),
+                _ => None,
+            },
+        );
+        self.neat.op_timeout = saved;
+        r
+    }
+
+    /// The client write protocol: create (placement), write chunk, confirm.
+    /// Retries with exclusions up to three times. Returns `(attempts, ok)`.
+    pub fn write_file(&mut self, file: u64) -> (usize, bool) {
+        let mut excluded = Vec::new();
+        for attempt in 1..=3 {
+            let op = self.next_op();
+            let master = self.master;
+            let ex = excluded.clone();
+            self.neat
+                .world
+                .call(self.client, |_, ctx| {
+                    ctx.send(
+                        master,
+                        MooseMsg::Create {
+                            op_id: op,
+                            file,
+                            excluded: ex.clone(),
+                        },
+                    )
+                })
+                .expect("client alive");
+            let Some(cs) = self.wait(|c| c.creates.remove(&op), 500).flatten() else {
+                continue;
+            };
+            let op2 = self.next_op();
+            self.neat
+                .world
+                .call(self.client, |_, ctx| {
+                    ctx.send(cs, MooseMsg::WriteChunk { op_id: op2, file })
+                })
+                .expect("client alive");
+            if self.wait(|c| c.write_acks.remove(&op2), 400).is_some() {
+                let op3 = self.next_op();
+                self.neat
+                    .world
+                    .call(self.client, |_, ctx| {
+                        ctx.send(master, MooseMsg::Confirm { op_id: op3, file })
+                    })
+                    .expect("client alive");
+                let _ = self.wait(|c| c.confirms.remove(&op3), 400);
+                return (attempt, true);
+            }
+            excluded.push(cs);
+        }
+        (3, false)
+    }
+
+    /// Client read: stat at the master, then read the chunk.
+    /// Returns `(exists_in_metadata, data_found)`.
+    pub fn read_file(&mut self, file: u64) -> (bool, bool) {
+        let op = self.next_op();
+        let master = self.master;
+        self.neat
+            .world
+            .call(self.client, |_, ctx| {
+                ctx.send(master, MooseMsg::Stat { op_id: op, file })
+            })
+            .expect("client alive");
+        let Some((exists, cs)) = self.wait(|c| c.stats.remove(&op), 500) else {
+            return (false, false);
+        };
+        let Some(cs) = cs else {
+            return (exists, false);
+        };
+        let op2 = self.next_op();
+        self.neat
+            .world
+            .call(self.client, |_, ctx| {
+                ctx.send(cs, MooseMsg::ReadChunk { op_id: op2, file })
+            })
+            .expect("client alive");
+        let found = self
+            .wait(|c| c.reads.remove(&op2), 400)
+            .unwrap_or(false);
+        (exists, found)
+    }
+}
+
+/// moosefs #132: the client cannot reach the chunkserver the master keeps
+/// suggesting; with the sticky placement the write never completes.
+pub fn client_hang(flaws: MooseFlaws, seed: u64, record: bool) -> (Vec<Violation>, String) {
+    let mut cluster = MooseCluster::build(flaws, seed, record);
+    cluster.neat.sleep(50);
+
+    // File 0 maps to chunkserver[0] under the sticky policy.
+    let sticky_cs = cluster.chunkservers[0];
+    let client = cluster.client;
+    let p = cluster.neat.partition_partial(&[client], &[sticky_cs]);
+
+    let (_attempts, ok) = cluster.write_file(0);
+    cluster.neat.heal(&p);
+
+    let mut violations = Vec::new();
+    if !ok {
+        violations.push(Violation::new(
+            ViolationKind::SystemHang,
+            "the master kept suggesting the unreachable chunkserver; the client \
+             write never completed although two healthy chunkservers existed",
+        ));
+    }
+    (violations, cluster.neat.world.trace().summary())
+}
+
+/// moosefs #131: the partition interrupts the chunk write after the master
+/// recorded the file; the file system is left inconsistent (metadata with
+/// no data).
+pub fn inconsistent_metadata(flaws: MooseFlaws, seed: u64, record: bool) -> (Vec<Violation>, String) {
+    let mut cluster = MooseCluster::build(flaws, seed, record);
+    cluster.neat.sleep(50);
+
+    let sticky_cs = cluster.chunkservers[0];
+    let client = cluster.client;
+    let p = cluster.neat.partition_partial(&[client], &[sticky_cs]);
+
+    // With the sticky flaw off but metadata_before_data on, the retry may
+    // eventually succeed elsewhere; the damage is the first attempt's
+    // metadata. Use a single attempt shape: file 0 → chunkserver 0.
+    let (_, _ok) = cluster.write_file(0);
+    cluster.neat.heal(&p);
+    cluster.neat.sleep(200);
+
+    let (exists, found) = cluster.read_file(0);
+    let mut violations = Vec::new();
+    if exists && !found {
+        violations.push(Violation::new(
+            ViolationKind::DataCorruption,
+            "file exists in master metadata but its chunk was never written — \
+             inconsistent file-system state",
+        ));
+    }
+    (violations, cluster.neat.world.trace().summary())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flawed() -> MooseFlaws {
+        MooseFlaws {
+            never_offer_alternative: true,
+            metadata_before_data: true,
+        }
+    }
+    fn fixed() -> MooseFlaws {
+        MooseFlaws {
+            never_offer_alternative: false,
+            metadata_before_data: false,
+        }
+    }
+
+    #[test]
+    fn write_read_without_faults() {
+        let mut c = MooseCluster::build(fixed(), 1, false);
+        c.neat.sleep(50);
+        let (attempts, ok) = c.write_file(0);
+        assert!(ok);
+        assert_eq!(attempts, 1);
+        assert_eq!(c.read_file(0), (true, true));
+    }
+
+    #[test]
+    fn moosefs132_hang_with_the_flaw() {
+        let (violations, _) = client_hang(flawed(), 111, false);
+        assert!(
+            violations.iter().any(|v| v.kind == ViolationKind::SystemHang),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn moosefs132_retry_succeeds_when_fixed() {
+        let (violations, _) = client_hang(fixed(), 111, false);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn moosefs131_inconsistent_metadata_with_the_flaw() {
+        let (violations, _) = inconsistent_metadata(flawed(), 113, false);
+        assert!(
+            violations.iter().any(|v| v.kind == ViolationKind::DataCorruption),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn moosefs131_consistent_when_fixed() {
+        let (violations, _) = inconsistent_metadata(fixed(), 113, false);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+}

@@ -1,0 +1,175 @@
+//! A [`TestTarget`] adapter for the data grid, giving the NEAT explorer
+//! the full Table 8 event palette — including lock acquire/release and
+//! enqueue/dequeue — against the flawed or protected membership layer.
+
+use neat::{
+    checkers::{check_counter, check_queue, check_semaphore, QueueExpectation},
+    explore::{EventChoice, TestTarget},
+    fault::PartitionSpec,
+    Violation,
+};
+use rand::{rngs::StdRng, Rng};
+use simnet::NodeId;
+
+use crate::{
+    cluster::{GridClient, GridCluster},
+    node::GridFlaws,
+};
+
+/// Drives a three-server, two-client grid deployment under
+/// explorer-generated faults and events.
+pub struct GridTarget {
+    flaws: GridFlaws,
+    cluster: Option<GridCluster>,
+    next_val: u64,
+}
+
+impl GridTarget {
+    /// Creates an adapter running under `flaws`.
+    pub fn new(flaws: GridFlaws) -> Self {
+        Self {
+            flaws,
+            cluster: None,
+            next_val: 0,
+        }
+    }
+
+    fn cluster(&mut self) -> &mut GridCluster {
+        self.cluster.as_mut().expect("reset() builds the cluster")
+    }
+
+    /// The current deployment, for post-mortem inspection.
+    pub fn deployment(&self) -> Option<&GridCluster> {
+        self.cluster.as_ref()
+    }
+
+    fn client(cluster: &GridCluster, rng: &mut StdRng) -> GridClient {
+        let which = rng.gen_range(0..cluster.clients.len());
+        // Clients stay attached to their home server, like real grid
+        // clients; ops route to the primary internally.
+        cluster.client(which)
+    }
+}
+
+impl TestTarget for GridTarget {
+    fn reset(&mut self, seed: u64) {
+        let mut cluster = GridCluster::build(3, 2, self.flaws, seed, false);
+        cluster.settle(200);
+        let c0 = cluster.client(0);
+        c0.sem_create(&mut cluster.neat, "sem", 1);
+        cluster.settle(200);
+        self.cluster = Some(cluster);
+        self.next_val = 0;
+    }
+
+    fn servers(&self) -> Vec<NodeId> {
+        self.cluster.as_ref().expect("built").servers.clone()
+    }
+
+    fn leader(&mut self) -> Option<NodeId> {
+        // The structure primary is the lowest live member; surface it so
+        // the guided strategy can isolate it.
+        let cluster = self.cluster.as_ref().expect("built");
+        let s = cluster.servers[0];
+        Some(cluster.neat.world.app(s).server().primary())
+    }
+
+    fn supported_events(&self) -> Vec<EventChoice> {
+        vec![
+            EventChoice::Write,
+            EventChoice::Read,
+            EventChoice::Acquire,
+            EventChoice::Release,
+            EventChoice::Enqueue,
+            EventChoice::Dequeue,
+        ]
+    }
+
+    fn inject(&mut self, spec: &PartitionSpec) {
+        let cluster = self.cluster();
+        cluster.neat.partition(spec.clone());
+        // Give the membership layer time to diverge (or pause), as the
+        // paper's tests sleep past the detection period.
+        cluster.settle(600);
+    }
+
+    fn heal_all(&mut self) {
+        self.cluster().neat.heal_all();
+    }
+
+    fn apply_event(&mut self, ev: EventChoice, rng: &mut StdRng) {
+        self.next_val += 1;
+        let val = self.next_val;
+        let cluster = self.cluster.as_mut().expect("built");
+        let client = Self::client(cluster, rng);
+        match ev {
+            EventChoice::Write => {
+                client.incr(&mut cluster.neat, "ctr", 1);
+            }
+            EventChoice::Read => {
+                client.get(&mut cluster.neat, "k");
+            }
+            EventChoice::Acquire => {
+                client.acquire(&mut cluster.neat, "sem");
+            }
+            EventChoice::Release => {
+                client.release(&mut cluster.neat, "sem");
+            }
+            EventChoice::Enqueue => {
+                client.enq(&mut cluster.neat, "q", val);
+            }
+            EventChoice::Dequeue => {
+                client.deq(&mut cluster.neat, "q");
+            }
+            _ => {}
+        }
+    }
+
+    fn finish_and_check(&mut self) -> Vec<Violation> {
+        let cluster = self.cluster.as_mut().expect("built");
+        cluster.neat.heal_all();
+        cluster.settle(2500);
+        let mut violations = check_semaphore(cluster.neat.history(), "sem", 1);
+        violations.extend(check_queue(
+            cluster.neat.history(),
+            &[QueueExpectation {
+                key: "q".into(),
+                drained: None,
+            }],
+        ));
+        let final_ctr = cluster
+            .state_of(cluster.servers[1])
+            .atomics
+            .get("ctr")
+            .copied()
+            .unwrap_or(0);
+        violations.extend(check_counter(cluster.neat.history(), "ctr", 0, final_ctr));
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neat::explore::{explore, Strategy};
+
+    #[test]
+    fn guided_exploration_breaks_the_flawed_grid() {
+        let mut target = GridTarget::new(GridFlaws::flawed());
+        let report = explore(&mut target, &Strategy::findings_guided(), 15, 31);
+        assert!(
+            report.trials_with_violation > 0,
+            "guided exploration should hit the membership flaws: {report:?}"
+        );
+    }
+
+    #[test]
+    fn protected_grid_survives_guided_exploration() {
+        let mut target = GridTarget::new(GridFlaws::fixed());
+        let report = explore(&mut target, &Strategy::findings_guided(), 15, 31);
+        assert_eq!(
+            report.trials_with_violation, 0,
+            "the protected grid must stay clean: {report:?}"
+        );
+    }
+}

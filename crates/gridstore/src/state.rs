@@ -1,0 +1,292 @@
+//! The replicated data-grid state: cache, atomics, semaphores, locks,
+//! queues, and sets — the structure families NEAT tested in Ignite,
+//! Hazelcast, and Terracotta (Table 15).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use simnet::NodeId;
+
+/// A counting semaphore's replicated state.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SemState {
+    /// Total permits.
+    pub capacity: u64,
+    /// Current grants (one entry per held permit).
+    pub granted: Vec<NodeId>,
+    /// Releases applied without a matching grant — a corrupted semaphore
+    /// (the Ignite reclaim failure).
+    pub extra_releases: u64,
+}
+
+impl SemState {
+    /// Permits currently available.
+    pub fn available(&self) -> u64 {
+        self.capacity + self.extra_releases - self.granted.len() as u64
+    }
+
+    /// A semaphore is corrupted when more permits exist than its capacity.
+    pub fn corrupted(&self) -> bool {
+        self.extra_releases > 0
+    }
+}
+
+/// One client/admin operation on the grid.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum GridOp {
+    Put { key: String, val: u64 },
+    Get { key: String },
+    Remove { key: String },
+    Incr { key: String, by: u64 },
+    Cas { key: String, expect: u64, new: u64 },
+    SemCreate { key: String, permits: u64 },
+    SemAcquire { key: String },
+    SemRelease { key: String },
+    Enq { key: String, val: u64 },
+    Deq { key: String },
+    SetAdd { key: String, val: u64 },
+    SetRemove { key: String, val: u64 },
+    SetRead { key: String },
+}
+
+/// The result of a grid operation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum GridResp {
+    Ok,
+    Fail,
+    Value(Option<u64>),
+    Values(Vec<u64>),
+}
+
+/// The fully replicated grid state.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct GridState {
+    pub cache: BTreeMap<String, u64>,
+    pub atomics: BTreeMap<String, u64>,
+    pub semaphores: BTreeMap<String, SemState>,
+    pub queues: BTreeMap<String, VecDeque<u64>>,
+    pub sets: BTreeMap<String, BTreeSet<u64>>,
+}
+
+impl GridState {
+    /// Applies `op` on behalf of `client`, returning the response.
+    ///
+    /// `strict_release` controls unmatched semaphore releases: `true`
+    /// rejects them (the repaired behaviour); `false` applies them blindly,
+    /// which is how a reclaimed holder's late release corrupts the
+    /// semaphore in Ignite.
+    pub fn apply(&mut self, client: NodeId, op: &GridOp, strict_release: bool) -> GridResp {
+        match op {
+            GridOp::Put { key, val } => {
+                self.cache.insert(key.clone(), *val);
+                GridResp::Ok
+            }
+            GridOp::Get { key } => GridResp::Value(self.cache.get(key).copied()),
+            GridOp::Remove { key } => {
+                self.cache.remove(key);
+                GridResp::Ok
+            }
+            GridOp::Incr { key, by } => {
+                let v = self.atomics.entry(key.clone()).or_insert(0);
+                *v += by;
+                GridResp::Value(Some(*v))
+            }
+            GridOp::Cas { key, expect, new } => {
+                let v = self.atomics.entry(key.clone()).or_insert(0);
+                if *v == *expect {
+                    *v = *new;
+                    GridResp::Ok
+                } else {
+                    GridResp::Fail
+                }
+            }
+            GridOp::SemCreate { key, permits } => {
+                self.semaphores.entry(key.clone()).or_insert(SemState {
+                    capacity: *permits,
+                    ..SemState::default()
+                });
+                GridResp::Ok
+            }
+            GridOp::SemAcquire { key } => match self.semaphores.get_mut(key) {
+                Some(s) if s.available() > 0 => {
+                    s.granted.push(client);
+                    GridResp::Ok
+                }
+                _ => GridResp::Fail,
+            },
+            GridOp::SemRelease { key } => match self.semaphores.get_mut(key) {
+                Some(s) => {
+                    if let Some(pos) = s.granted.iter().position(|&g| g == client) {
+                        s.granted.remove(pos);
+                        GridResp::Ok
+                    } else if strict_release {
+                        GridResp::Fail
+                    } else {
+                        // Releasing a permit the grid no longer thinks the
+                        // client holds: the semaphore is now corrupted.
+                        s.extra_releases += 1;
+                        GridResp::Ok
+                    }
+                }
+                None => GridResp::Fail,
+            },
+            GridOp::Enq { key, val } => {
+                self.queues.entry(key.clone()).or_default().push_back(*val);
+                GridResp::Ok
+            }
+            GridOp::Deq { key } => {
+                GridResp::Value(self.queues.entry(key.clone()).or_default().pop_front())
+            }
+            GridOp::SetAdd { key, val } => {
+                self.sets.entry(key.clone()).or_default().insert(*val);
+                GridResp::Ok
+            }
+            GridOp::SetRemove { key, val } => {
+                self.sets.entry(key.clone()).or_default().remove(val);
+                GridResp::Ok
+            }
+            GridOp::SetRead { key } => GridResp::Values(
+                self.sets
+                    .get(key)
+                    .map(|s| s.iter().copied().collect())
+                    .unwrap_or_default(),
+            ),
+        }
+    }
+
+    /// Frees every permit held by `holder` (the Ignite reclaim behaviour
+    /// for unreachable clients).
+    pub fn reclaim_permits(&mut self, holder: NodeId) -> usize {
+        let mut reclaimed = 0;
+        for s in self.semaphores.values_mut() {
+            let before = s.granted.len();
+            s.granted.retain(|&g| g != holder);
+            reclaimed += before - s.granted.len();
+        }
+        reclaimed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn client(n: usize) -> NodeId {
+        NodeId(n)
+    }
+
+    #[test]
+    fn cache_put_get_remove() {
+        let mut st = GridState::default();
+        st.apply(client(1), &GridOp::Put { key: "k".into(), val: 5 }, false);
+        assert_eq!(
+            st.apply(client(1), &GridOp::Get { key: "k".into() }, false),
+            GridResp::Value(Some(5))
+        );
+        st.apply(client(1), &GridOp::Remove { key: "k".into() }, false);
+        assert_eq!(
+            st.apply(client(1), &GridOp::Get { key: "k".into() }, false),
+            GridResp::Value(None)
+        );
+    }
+
+    #[test]
+    fn atomics_incr_and_cas() {
+        let mut st = GridState::default();
+        assert_eq!(
+            st.apply(client(1), &GridOp::Incr { key: "c".into(), by: 2 }, false),
+            GridResp::Value(Some(2))
+        );
+        assert_eq!(
+            st.apply(client(1), &GridOp::Cas { key: "c".into(), expect: 2, new: 9 }, false),
+            GridResp::Ok
+        );
+        assert_eq!(
+            st.apply(client(1), &GridOp::Cas { key: "c".into(), expect: 2, new: 1 }, false),
+            GridResp::Fail
+        );
+    }
+
+    #[test]
+    fn semaphore_grant_and_exhaust() {
+        let mut st = GridState::default();
+        st.apply(client(0), &GridOp::SemCreate { key: "s".into(), permits: 1 }, false);
+        assert_eq!(
+            st.apply(client(1), &GridOp::SemAcquire { key: "s".into() }, false),
+            GridResp::Ok
+        );
+        assert_eq!(
+            st.apply(client(2), &GridOp::SemAcquire { key: "s".into() }, false),
+            GridResp::Fail
+        );
+        assert_eq!(
+            st.apply(client(1), &GridOp::SemRelease { key: "s".into() }, false),
+            GridResp::Ok
+        );
+        assert_eq!(
+            st.apply(client(2), &GridOp::SemAcquire { key: "s".into() }, false),
+            GridResp::Ok
+        );
+    }
+
+    #[test]
+    fn strict_release_refuses_non_holders() {
+        let mut st = GridState::default();
+        st.apply(client(0), &GridOp::SemCreate { key: "s".into(), permits: 1 }, true);
+        assert_eq!(
+            st.apply(client(1), &GridOp::SemRelease { key: "s".into() }, true),
+            GridResp::Fail
+        );
+        assert!(!st.semaphores["s"].corrupted());
+    }
+
+    #[test]
+    fn unmatched_release_corrupts() {
+        let mut st = GridState::default();
+        st.apply(client(0), &GridOp::SemCreate { key: "s".into(), permits: 1 }, false);
+        st.apply(client(1), &GridOp::SemRelease { key: "s".into() }, false);
+        let s = &st.semaphores["s"];
+        assert!(s.corrupted());
+        assert_eq!(s.available(), 2, "more permits than capacity");
+    }
+
+    #[test]
+    fn reclaim_frees_holder_permits() {
+        let mut st = GridState::default();
+        st.apply(client(0), &GridOp::SemCreate { key: "s".into(), permits: 2 }, false);
+        st.apply(client(1), &GridOp::SemAcquire { key: "s".into() }, false);
+        st.apply(client(1), &GridOp::SemAcquire { key: "s".into() }, false);
+        assert_eq!(st.reclaim_permits(client(1)), 2);
+        assert_eq!(st.semaphores["s"].available(), 2);
+    }
+
+    #[test]
+    fn queue_fifo() {
+        let mut st = GridState::default();
+        st.apply(client(1), &GridOp::Enq { key: "q".into(), val: 1 }, false);
+        st.apply(client(1), &GridOp::Enq { key: "q".into(), val: 2 }, false);
+        assert_eq!(
+            st.apply(client(2), &GridOp::Deq { key: "q".into() }, false),
+            GridResp::Value(Some(1))
+        );
+        assert_eq!(
+            st.apply(client(2), &GridOp::Deq { key: "q".into() }, false),
+            GridResp::Value(Some(2))
+        );
+        assert_eq!(
+            st.apply(client(2), &GridOp::Deq { key: "q".into() }, false),
+            GridResp::Value(None)
+        );
+    }
+
+    #[test]
+    fn set_add_remove_read() {
+        let mut st = GridState::default();
+        st.apply(client(1), &GridOp::SetAdd { key: "s".into(), val: 7 }, false);
+        st.apply(client(1), &GridOp::SetAdd { key: "s".into(), val: 8 }, false);
+        st.apply(client(1), &GridOp::SetRemove { key: "s".into(), val: 7 }, false);
+        assert_eq!(
+            st.apply(client(2), &GridOp::SetRead { key: "s".into() }, false),
+            GridResp::Values(vec![8])
+        );
+    }
+}

@@ -1,0 +1,282 @@
+//! A small Wing–Gong linearizability checker for single-key registers.
+//!
+//! NEAT's verification steps (Listings 1–2) assert specific expected values;
+//! this checker is the general-purpose fallback: it decides whether a
+//! register history has *any* valid linearization. It is exponential in the
+//! worst case and intended for the short histories NEAT tests produce
+//! (≲ 20 operations per key).
+
+use std::collections::HashSet;
+
+use crate::history::{History, Op, OpRecord, Outcome};
+
+use super::{Violation, ViolationKind};
+
+/// One operation in normalized form.
+#[derive(Clone, Copy, Debug)]
+enum LinOp {
+    /// Mutation to `Option<u64>` (write of `Some(v)`, delete to `None`) with
+    /// `definite = true` for acknowledged mutations, `false` for timeouts
+    /// (which may linearize or never take effect).
+    Mutate { to: Option<u64>, definite: bool },
+    /// A read that returned `ret`.
+    Read { ret: Option<u64> },
+}
+
+struct Entry {
+    op: LinOp,
+    start: u64,
+    end: u64,
+}
+
+/// Checks whether the operations on `key` are linearizable as an atomic
+/// register initialized to `initial`.
+///
+/// Returns a [`ViolationKind::NotLinearizable`] violation when no
+/// linearization exists. Failed mutations and timed-out reads constrain
+/// nothing and are dropped before the search.
+///
+/// # Panics
+///
+/// Panics if more than 63 operations constrain the search (the done-set is a
+/// bitmask); NEAT histories are far smaller.
+pub fn check_linearizable_register(
+    hist: &History,
+    key: &str,
+    initial: Option<u64>,
+) -> Vec<Violation> {
+    let entries = normalize(hist, key);
+    assert!(entries.len() <= 63, "history too large for the checker");
+    let mut memo = HashSet::new();
+    if search(&entries, 0, initial, &mut memo) {
+        Vec::new()
+    } else {
+        vec![Violation::new(
+            ViolationKind::NotLinearizable,
+            format!(
+                "no linearization of the {} operations on {key:?} exists",
+                entries.len()
+            ),
+        )]
+    }
+}
+
+fn normalize(hist: &History, key: &str) -> Vec<Entry> {
+    let mut entries = Vec::new();
+    for r in hist.for_key(key) {
+        let op = to_lin_op(r);
+        if let Some(op) = op {
+            entries.push(Entry {
+                op,
+                start: r.start,
+                end: r.end,
+            });
+        }
+    }
+    entries
+}
+
+fn to_lin_op(r: &OpRecord) -> Option<LinOp> {
+    match (&r.op, &r.outcome) {
+        (Op::Write { val, .. }, o) if o.is_ok() => Some(LinOp::Mutate {
+            to: Some(*val),
+            definite: true,
+        }),
+        (Op::Write { val, .. }, Outcome::Timeout) => Some(LinOp::Mutate {
+            to: Some(*val),
+            definite: false,
+        }),
+        (Op::Delete { .. }, o) if o.is_ok() => Some(LinOp::Mutate {
+            to: None,
+            definite: true,
+        }),
+        (Op::Delete { .. }, Outcome::Timeout) => Some(LinOp::Mutate {
+            to: None,
+            definite: false,
+        }),
+        (Op::Read { .. }, Outcome::Ok(ret)) => Some(LinOp::Read { ret: *ret }),
+        // Failed mutations must not apply; failed/timed-out reads constrain
+        // nothing.
+        _ => None,
+    }
+}
+
+/// Key for the memo table: which ops are done plus the register value.
+fn memo_key(done: u64, value: Option<u64>) -> (u64, u64, bool) {
+    (done, value.unwrap_or(0), value.is_some())
+}
+
+fn search(
+    entries: &[Entry],
+    done: u64,
+    value: Option<u64>,
+    memo: &mut HashSet<(u64, u64, bool)>,
+) -> bool {
+    if done == (1u64 << entries.len()) - 1 {
+        return true;
+    }
+    if !memo.insert(memo_key(done, value)) {
+        return false;
+    }
+    for (i, e) in entries.iter().enumerate() {
+        if done & (1 << i) != 0 {
+            continue;
+        }
+        // Minimality: no other pending op must fully precede `e`.
+        let minimal = entries.iter().enumerate().all(|(j, p)| {
+            j == i || done & (1 << j) != 0 || p.end >= e.start
+        });
+        if !minimal {
+            continue;
+        }
+        let next_done = done | (1 << i);
+        match e.op {
+            LinOp::Mutate { to, definite } => {
+                if search(entries, next_done, to, memo) {
+                    return true;
+                }
+                // A timed-out mutation may also never take effect.
+                if !definite && search(entries, next_done, value, memo) {
+                    return true;
+                }
+            }
+            LinOp::Read { ret } => {
+                if ret == value && search(entries, next_done, value, memo) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::NodeId;
+
+    fn w(val: u64, outcome: Outcome, start: u64, end: u64) -> OpRecord {
+        OpRecord {
+            client: NodeId(0),
+            op: Op::Write {
+                key: "k".into(),
+                val,
+            },
+            outcome,
+            start,
+            end,
+        }
+    }
+    fn r(ret: Option<u64>, start: u64, end: u64) -> OpRecord {
+        OpRecord {
+            client: NodeId(1),
+            op: Op::Read { key: "k".into() },
+            outcome: Outcome::Ok(ret),
+            start,
+            end,
+        }
+    }
+    fn hist(recs: Vec<OpRecord>) -> History {
+        let mut h = History::new();
+        for rec in recs {
+            h.push(rec);
+        }
+        h
+    }
+    fn linearizable(h: &History) -> bool {
+        check_linearizable_register(h, "k", None).is_empty()
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        assert!(linearizable(&hist(vec![])));
+    }
+
+    #[test]
+    fn sequential_write_read_is_linearizable() {
+        assert!(linearizable(&hist(vec![
+            w(1, Outcome::Ok(None), 0, 5),
+            r(Some(1), 10, 12),
+        ])));
+    }
+
+    #[test]
+    fn stale_read_is_not_linearizable() {
+        assert!(!linearizable(&hist(vec![
+            w(1, Outcome::Ok(None), 0, 5),
+            w(2, Outcome::Ok(None), 10, 15),
+            r(Some(1), 20, 22),
+        ])));
+    }
+
+    #[test]
+    fn concurrent_write_read_either_value_ok() {
+        let base = vec![w(1, Outcome::Ok(None), 0, 5), w(2, Outcome::Ok(None), 10, 30)];
+        let mut h1 = base.clone();
+        h1.push(r(Some(1), 12, 14));
+        assert!(linearizable(&hist(h1)));
+        let mut h2 = base;
+        h2.push(r(Some(2), 12, 14));
+        assert!(linearizable(&hist(h2)));
+    }
+
+    #[test]
+    fn dirty_read_is_not_linearizable() {
+        assert!(!linearizable(&hist(vec![
+            w(7, Outcome::Fail, 0, 5),
+            r(Some(7), 10, 12),
+        ])));
+    }
+
+    #[test]
+    fn timeout_write_may_or_may_not_apply() {
+        let seen = hist(vec![w(7, Outcome::Timeout, 0, 5), r(Some(7), 10, 12)]);
+        assert!(linearizable(&seen));
+        let unseen = hist(vec![w(7, Outcome::Timeout, 0, 5), r(None, 10, 12)]);
+        assert!(linearizable(&unseen));
+    }
+
+    #[test]
+    fn timeout_write_cannot_flip_flop() {
+        // Once observed, a timed-out write has linearized; it cannot unapply.
+        assert!(!linearizable(&hist(vec![
+            w(7, Outcome::Timeout, 0, 5),
+            r(Some(7), 10, 12),
+            r(None, 20, 22),
+        ])));
+    }
+
+    #[test]
+    fn read_skew_across_partition_is_caught() {
+        // Two reads in sequence observe new-then-old: impossible.
+        assert!(!linearizable(&hist(vec![
+            w(1, Outcome::Ok(None), 0, 2),
+            w(2, Outcome::Ok(None), 4, 6),
+            r(Some(2), 10, 12),
+            r(Some(1), 14, 16),
+        ])));
+    }
+
+    #[test]
+    fn delete_linearizes_to_none() {
+        let d = OpRecord {
+            client: NodeId(0),
+            op: Op::Delete { key: "k".into() },
+            outcome: Outcome::Ok(None),
+            start: 10,
+            end: 12,
+        };
+        assert!(linearizable(&hist(vec![
+            w(1, Outcome::Ok(None), 0, 2),
+            d,
+            r(None, 20, 22),
+        ])));
+    }
+
+    #[test]
+    fn initial_value_respected() {
+        let h = hist(vec![r(Some(9), 0, 2)]);
+        assert!(check_linearizable_register(&h, "k", Some(9)).is_empty());
+        assert!(!check_linearizable_register(&h, "k", None).is_empty());
+    }
+}

@@ -1,0 +1,276 @@
+//! The NEAT test engine: globally ordered client operations, fault
+//! injection, node crashes, and virtual-time sleeps.
+
+use simnet::{Application, NodeId, SimError, Time, World};
+
+use crate::{
+    fault::{Partition, PartitionSpec},
+    history::{History, OpRecord},
+};
+
+/// The test engine (the central node of the paper's Figure 4).
+///
+/// `Neat` wraps a [`simnet::World`] and provides the paper's testing API:
+///
+/// - `partition_*` / [`Neat::heal`] — install and remove the three fault
+///   types of Figure 1;
+/// - [`Neat::crash`] / [`Neat::restart`] — kill and revive node groups;
+/// - [`Neat::sleep`] — advance virtual time (e.g., past a leader-election
+///   timeout, like `sleep(SLEEP_LEADER_ELECTION_PERIOD)` in Listing 1);
+/// - [`Neat::run_op`] — run one client operation to completion under a
+///   virtual-time timeout, giving the *global order of client operations*
+///   that the paper's RMI-based engine provides;
+/// - [`Neat::history`] — the recorded operation log fed to the checkers.
+pub struct Neat<A: Application> {
+    /// The simulated cluster. Public so harnesses can inspect node state.
+    pub world: World<A>,
+    history: History,
+    active: Vec<Partition>,
+    /// Timeout applied by [`Neat::run_op`], in virtual milliseconds.
+    pub op_timeout: Time,
+}
+
+impl<A: Application> Neat<A> {
+    /// Wraps a world with the default 1000 ms operation timeout.
+    pub fn new(world: World<A>) -> Self {
+        Self {
+            world,
+            history: History::new(),
+            active: Vec::new(),
+            op_timeout: 1000,
+        }
+    }
+
+    /// The recorded operation history.
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// Appends a record to the history (called by system client wrappers).
+    pub fn record(&mut self, rec: OpRecord) {
+        self.history.push(rec);
+    }
+
+    /// Installs a partition described by `spec` and returns a handle for
+    /// healing it.
+    pub fn partition(&mut self, spec: PartitionSpec) -> Partition {
+        let rule = self.world.block_pairs(spec.pairs());
+        let p = Partition { rule, spec };
+        self.active.push(p.clone());
+        p
+    }
+
+    /// `Partitioner.complete(groupA, groupB)` of the paper.
+    pub fn partition_complete(&mut self, a: &[NodeId], b: &[NodeId]) -> Partition {
+        self.partition(PartitionSpec::Complete {
+            a: a.to_vec(),
+            b: b.to_vec(),
+        })
+    }
+
+    /// `Partitioner.partial(groupA, groupB)` of the paper.
+    pub fn partition_partial(&mut self, a: &[NodeId], b: &[NodeId]) -> Partition {
+        self.partition(PartitionSpec::Partial {
+            a: a.to_vec(),
+            b: b.to_vec(),
+        })
+    }
+
+    /// `Partitioner.simplex(groupSrc, groupDst)` of the paper.
+    pub fn partition_simplex(&mut self, src: &[NodeId], dst: &[NodeId]) -> Partition {
+        self.partition(PartitionSpec::Simplex {
+            src: src.to_vec(),
+            dst: dst.to_vec(),
+        })
+    }
+
+    /// Heals one partition. Healing twice is a no-op.
+    pub fn heal(&mut self, p: &Partition) {
+        self.world.unblock(p.rule);
+        self.active.retain(|q| q.rule != p.rule);
+    }
+
+    /// Heals every partition installed through this engine.
+    pub fn heal_all(&mut self) {
+        for p in std::mem::take(&mut self.active) {
+            self.world.unblock(p.rule);
+        }
+    }
+
+    /// Partitions currently installed.
+    pub fn active_partitions(&self) -> &[Partition] {
+        &self.active
+    }
+
+    /// Crashes every node in `nodes`. Nodes already down are skipped.
+    pub fn crash(&mut self, nodes: &[NodeId]) {
+        for &n in nodes {
+            let _ = self.world.crash(n);
+        }
+    }
+
+    /// Restarts every node in `nodes`. Nodes already up are skipped.
+    pub fn restart(&mut self, nodes: &[NodeId]) {
+        for &n in nodes {
+            let _ = self.world.restart(n);
+        }
+    }
+
+    /// Advances virtual time by `ms`, processing everything scheduled in
+    /// between — the paper's `sleep(...)` between test steps.
+    pub fn sleep(&mut self, ms: Time) {
+        self.world.run_for(ms);
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.world.now()
+    }
+
+    /// Runs one asynchronous client operation to completion.
+    ///
+    /// `start` kicks the operation off (typically via [`World::call`] on a
+    /// client node); `poll` is invoked after every simulation step and
+    /// returns `Some(result)` once the operation completed. Returns `None`
+    /// if [`Neat::op_timeout`] virtual milliseconds elapse first — the
+    /// *Timeout* outcome of the paper's histories.
+    pub fn run_op<R>(
+        &mut self,
+        start: impl FnOnce(&mut World<A>) -> Result<(), SimError>,
+        mut poll: impl FnMut(&mut World<A>) -> Option<R>,
+    ) -> Option<R> {
+        if start(&mut self.world).is_err() {
+            return None;
+        }
+        let deadline = self.world.now() + self.op_timeout;
+        loop {
+            if let Some(r) = poll(&mut self.world) {
+                return Some(r);
+            }
+            match self.world.pending_events() {
+                0 => {
+                    // Nothing left to simulate; the op can only time out.
+                    self.world.run_until(deadline);
+                    return poll(&mut self.world);
+                }
+                _ => {
+                    if self.world.now() >= deadline {
+                        return None;
+                    }
+                    self.world.step();
+                    if self.world.now() > deadline {
+                        // The step jumped past the deadline (e.g., a distant
+                        // timer); the op had its chance.
+                        return poll(&mut self.world);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{Ctx, TimerId, WorldBuilder};
+
+    /// A node that acks every request after one hop.
+    #[derive(Default)]
+    struct AckServer {
+        acked: Option<u64>,
+    }
+
+    impl Application for AckServer {
+        type Msg = u64;
+        fn on_start(&mut self, _ctx: &mut Ctx<'_, u64>) {}
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, from: NodeId, msg: u64) {
+            if msg.is_multiple_of(2) {
+                ctx.send(from, msg + 1);
+            } else {
+                self.acked = Some(msg);
+            }
+        }
+        fn on_timer(&mut self, _: &mut Ctx<'_, u64>, _: TimerId, _: u64) {}
+    }
+
+    fn engine(n: usize) -> Neat<AckServer> {
+        Neat::new(WorldBuilder::new(5).build(n, |_| AckServer::default()))
+    }
+
+    #[test]
+    fn run_op_completes_round_trip() {
+        let mut neat = engine(2);
+        let got = neat.run_op(
+            |w| w.call(NodeId(0), |_, ctx| ctx.send(NodeId(1), 8)),
+            |w| w.app(NodeId(0)).acked,
+        );
+        assert_eq!(got, Some(9));
+    }
+
+    #[test]
+    fn run_op_times_out_under_partition() {
+        let mut neat = engine(2);
+        neat.op_timeout = 50;
+        neat.partition_complete(&[NodeId(0)], &[NodeId(1)]);
+        let t0 = neat.now();
+        let got = neat.run_op(
+            |w| w.call(NodeId(0), |_, ctx| ctx.send(NodeId(1), 8)),
+            |w| w.app(NodeId(0)).acked,
+        );
+        assert_eq!(got, None);
+        assert!(neat.now() >= t0 + 50, "timeout must consume virtual time");
+    }
+
+    #[test]
+    fn heal_restores_connectivity() {
+        let mut neat = engine(2);
+        let p = neat.partition_complete(&[NodeId(0)], &[NodeId(1)]);
+        assert_eq!(neat.active_partitions().len(), 1);
+        neat.heal(&p);
+        assert!(neat.active_partitions().is_empty());
+        let got = neat.run_op(
+            |w| w.call(NodeId(0), |_, ctx| ctx.send(NodeId(1), 8)),
+            |w| w.app(NodeId(0)).acked,
+        );
+        assert_eq!(got, Some(9));
+    }
+
+    #[test]
+    fn heal_all_clears_every_partition() {
+        let mut neat = engine(3);
+        neat.partition_complete(&[NodeId(0)], &[NodeId(1)]);
+        neat.partition_simplex(&[NodeId(1)], &[NodeId(2)]);
+        neat.heal_all();
+        assert!(neat.active_partitions().is_empty());
+        assert_eq!(neat.world.net().rule_count(), 0);
+    }
+
+    #[test]
+    fn crash_and_restart_groups() {
+        let mut neat = engine(3);
+        neat.crash(&[NodeId(1), NodeId(2)]);
+        assert!(!neat.world.is_alive(NodeId(1)));
+        assert!(!neat.world.is_alive(NodeId(2)));
+        neat.crash(&[NodeId(1)]); // already down: skipped, no panic
+        neat.restart(&[NodeId(1)]);
+        assert!(neat.world.is_alive(NodeId(1)));
+    }
+
+    #[test]
+    fn sleep_advances_virtual_time() {
+        let mut neat = engine(1);
+        neat.sleep(123);
+        assert_eq!(neat.now(), 123);
+    }
+
+    #[test]
+    fn run_op_on_crashed_client_is_none() {
+        let mut neat = engine(2);
+        neat.crash(&[NodeId(0)]);
+        let got = neat.run_op(
+            |w| w.call(NodeId(0), |_, ctx| ctx.send(NodeId(1), 8)),
+            |w| w.app(NodeId(0)).acked,
+        );
+        assert_eq!(got, None);
+    }
+}

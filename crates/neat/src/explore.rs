@@ -1,0 +1,396 @@
+//! Automatic workload and fault exploration (the paper's §8.1 future work).
+//!
+//! The paper's Chapter 5 identifies characteristics that prune the enormous
+//! test space: 84% of manifestation sequences start with the partition
+//! (Table 9), 83% need three or fewer events (Table 7), 88% manifest by
+//! isolating a single node — most effectively the leader (Finding 9,
+//! Table 10) — and events follow a natural order (lock before unlock, write
+//! before read). [`Strategy::findings_guided`] encodes exactly those rules;
+//! [`Strategy::naive`] is the uniform-random baseline. The `exploration`
+//! bench compares their bug-finding efficiency, reproducing the paper's
+//! testability claim (Finding 13).
+
+use std::collections::BTreeMap;
+
+use rand::{rngs::StdRng, seq::SliceRandom, Rng, SeedableRng};
+use simnet::NodeId;
+
+use crate::{
+    checkers::{Violation, ViolationKind},
+    fault::{rest_of, PartitionKind, PartitionSpec},
+};
+
+/// The client/admin event palette of the paper's Table 8.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum EventChoice {
+    Write,
+    Read,
+    Delete,
+    Acquire,
+    Release,
+    Enqueue,
+    Dequeue,
+    AdminAddNode,
+    AdminRemoveNode,
+}
+
+impl EventChoice {
+    /// Rank used by the *natural order* heuristic: producers before
+    /// consumers (`write` before `read`, `lock` before `unlock`).
+    fn natural_rank(&self) -> u8 {
+        match self {
+            EventChoice::Write | EventChoice::Acquire | EventChoice::Enqueue => 0,
+            EventChoice::Read | EventChoice::Release | EventChoice::Dequeue => 1,
+            EventChoice::Delete => 2,
+            EventChoice::AdminAddNode | EventChoice::AdminRemoveNode => 3,
+        }
+    }
+}
+
+/// A system adapter the explorer can drive.
+///
+/// Implementations wrap a concrete system model plus its NEAT engine: they
+/// build a fresh cluster on [`TestTarget::reset`], translate
+/// [`EventChoice`]s into real client calls (picking keys/values/clients with
+/// the supplied RNG), and run their checkers in
+/// [`TestTarget::finish_and_check`].
+pub trait TestTarget {
+    /// Rebuilds the system from scratch with the given seed.
+    fn reset(&mut self, seed: u64);
+    /// Server nodes eligible for partitioning.
+    fn servers(&self) -> Vec<NodeId>;
+    /// Best-effort current leader, if the system has one.
+    fn leader(&mut self) -> Option<NodeId>;
+    /// The subset of [`EventChoice`]s this system supports.
+    fn supported_events(&self) -> Vec<EventChoice>;
+    /// Injects a partition.
+    fn inject(&mut self, spec: &PartitionSpec);
+    /// Heals every injected partition.
+    fn heal_all(&mut self);
+    /// Applies one client/admin event.
+    fn apply_event(&mut self, ev: EventChoice, rng: &mut StdRng);
+    /// Heals (if not already healed), quiesces, runs checkers.
+    fn finish_and_check(&mut self) -> Vec<Violation>;
+}
+
+/// Knobs of the test-case generator.
+#[derive(Clone, Debug)]
+pub struct Strategy {
+    /// Inject the partition before any client event (Table 9: 84%).
+    pub partition_first: bool,
+    /// Maximum number of client events per trial (Table 7: 83% need ≤ 3).
+    pub max_events: usize,
+    /// Split the cluster leader-vs-rest instead of a random split
+    /// (Finding 9 / Table 10).
+    pub isolate_leader: bool,
+    /// Partition kinds to draw from.
+    pub kinds: Vec<PartitionKind>,
+    /// Sort events into their natural order (write before read, …).
+    pub natural_order: bool,
+}
+
+impl Strategy {
+    /// The strategy encoding the paper's Chapter 5 findings.
+    pub fn findings_guided() -> Self {
+        Self {
+            partition_first: true,
+            max_events: 3,
+            isolate_leader: true,
+            kinds: vec![
+                PartitionKind::Complete,
+                PartitionKind::Partial,
+                PartitionKind::Simplex,
+            ],
+            natural_order: true,
+        }
+    }
+
+    /// Uniform random baseline: any split, any position of the fault, up to
+    /// `max_events` events in arbitrary order.
+    pub fn naive(max_events: usize) -> Self {
+        Self {
+            partition_first: false,
+            max_events,
+            isolate_leader: false,
+            kinds: vec![
+                PartitionKind::Complete,
+                PartitionKind::Partial,
+                PartitionKind::Simplex,
+            ],
+            natural_order: false,
+        }
+    }
+}
+
+/// Result of an exploration run.
+#[derive(Clone, Debug, Default)]
+pub struct ExplorationReport {
+    /// Trials executed.
+    pub trials: usize,
+    /// Trials in which at least one violation was detected.
+    pub trials_with_violation: usize,
+    /// 1-based index of the first failing trial, if any.
+    pub first_violation_trial: Option<usize>,
+    /// Violations per kind, across all trials.
+    pub kinds: BTreeMap<ViolationKind, usize>,
+}
+
+impl ExplorationReport {
+    /// Fraction of trials that found a violation.
+    pub fn hit_rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.trials_with_violation as f64 / self.trials as f64
+        }
+    }
+}
+
+/// Picks the partition groups for a trial.
+fn choose_spec(
+    kind: PartitionKind,
+    servers: &[NodeId],
+    leader: Option<NodeId>,
+    isolate_leader: bool,
+    rng: &mut StdRng,
+) -> PartitionSpec {
+    let victim = if isolate_leader {
+        leader.unwrap_or_else(|| servers[rng.gen_range(0..servers.len())])
+    } else {
+        servers[rng.gen_range(0..servers.len())]
+    };
+    let others = rest_of(servers, &[victim]);
+    match kind {
+        PartitionKind::Complete => PartitionSpec::Complete {
+            a: vec![victim],
+            b: others,
+        },
+        PartitionKind::Partial => {
+            // Disconnect the victim from a strict subset, keeping at least
+            // one bridge node connected to both sides (Figure 1.b).
+            let cut = if others.len() > 1 {
+                others[..others.len() - 1].to_vec()
+            } else {
+                others
+            };
+            PartitionSpec::Partial {
+                a: vec![victim],
+                b: cut,
+            }
+        }
+        PartitionKind::Simplex => PartitionSpec::Simplex {
+            src: others,
+            dst: vec![victim],
+        },
+    }
+}
+
+/// Runs `trials` generated test cases against `target` and tallies the
+/// violations found.
+pub fn explore(
+    target: &mut dyn TestTarget,
+    strategy: &Strategy,
+    trials: usize,
+    seed: u64,
+) -> ExplorationReport {
+    let mut report = ExplorationReport {
+        trials,
+        ..Default::default()
+    };
+    for trial in 0..trials {
+        let trial_seed = seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(trial as u64);
+        let mut rng = StdRng::seed_from_u64(trial_seed);
+        target.reset(trial_seed);
+
+        let servers = target.servers();
+        if servers.is_empty() {
+            continue;
+        }
+        let kind = strategy.kinds[rng.gen_range(0..strategy.kinds.len())];
+        let leader = target.leader();
+        let spec = choose_spec(kind, &servers, leader, strategy.isolate_leader, &mut rng);
+
+        let palette = target.supported_events();
+        let n_events = rng.gen_range(0..=strategy.max_events.min(palette.len().max(1) * 2));
+        let mut events: Vec<EventChoice> = (0..n_events)
+            .map(|_| palette[rng.gen_range(0..palette.len())])
+            .collect();
+        if strategy.natural_order {
+            events.sort_by_key(EventChoice::natural_rank);
+        }
+
+        let inject_at = if strategy.partition_first {
+            0
+        } else {
+            rng.gen_range(0..=events.len())
+        };
+
+        let mut injected = false;
+        for (i, ev) in events.iter().enumerate() {
+            if i == inject_at {
+                target.inject(&spec);
+                injected = true;
+            }
+            target.apply_event(*ev, &mut rng);
+        }
+        if !injected {
+            target.inject(&spec);
+        }
+
+        let violations = target.finish_and_check();
+        if !violations.is_empty() {
+            report.trials_with_violation += 1;
+            report.first_violation_trial.get_or_insert(trial + 1);
+            for v in violations {
+                *report.kinds.entry(v.kind).or_default() += 1;
+            }
+        }
+    }
+    report
+}
+
+/// Draws a random non-trivial bipartition of `servers` — exposed for
+/// adapters that want naive splits for other purposes.
+pub fn random_split(servers: &[NodeId], rng: &mut StdRng) -> (Vec<NodeId>, Vec<NodeId>) {
+    assert!(servers.len() >= 2, "need at least two servers to split");
+    let mut shuffled = servers.to_vec();
+    shuffled.shuffle(rng);
+    let cut = rng.gen_range(1..shuffled.len());
+    let (a, b) = shuffled.split_at(cut);
+    (a.to_vec(), b.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkers::Violation;
+
+    /// A toy target that fails only under the paper's canonical sequence:
+    /// partition injected first, then a write, then a read, with the leader
+    /// (node 0) isolated.
+    struct ToyTarget {
+        injected_first: bool,
+        leader_isolated: bool,
+        wrote: bool,
+        read_after_write: bool,
+        events_seen: usize,
+    }
+
+    impl ToyTarget {
+        fn new() -> Self {
+            Self {
+                injected_first: false,
+                leader_isolated: false,
+                wrote: false,
+                read_after_write: false,
+                events_seen: 0,
+            }
+        }
+    }
+
+    impl TestTarget for ToyTarget {
+        fn reset(&mut self, _seed: u64) {
+            *self = ToyTarget::new();
+        }
+        fn servers(&self) -> Vec<NodeId> {
+            vec![NodeId(0), NodeId(1), NodeId(2)]
+        }
+        fn leader(&mut self) -> Option<NodeId> {
+            Some(NodeId(0))
+        }
+        fn supported_events(&self) -> Vec<EventChoice> {
+            vec![EventChoice::Write, EventChoice::Read, EventChoice::Delete]
+        }
+        fn inject(&mut self, spec: &PartitionSpec) {
+            if self.events_seen == 0 {
+                self.injected_first = true;
+            }
+            let isolated = match spec {
+                PartitionSpec::Complete { a, .. } | PartitionSpec::Partial { a, .. } => a.clone(),
+                PartitionSpec::Simplex { dst, .. } => dst.clone(),
+            };
+            self.leader_isolated = isolated == vec![NodeId(0)];
+        }
+        fn heal_all(&mut self) {}
+        fn apply_event(&mut self, ev: EventChoice, _rng: &mut StdRng) {
+            self.events_seen += 1;
+            match ev {
+                EventChoice::Write => self.wrote = true,
+                EventChoice::Read if self.wrote => self.read_after_write = true,
+                _ => {}
+            }
+        }
+        fn finish_and_check(&mut self) -> Vec<Violation> {
+            if self.injected_first && self.leader_isolated && self.read_after_write {
+                vec![Violation::new(ViolationKind::StaleRead, "toy")]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    #[test]
+    fn findings_guided_beats_naive_on_the_toy_bug() {
+        let mut target = ToyTarget::new();
+        let guided = explore(&mut target, &Strategy::findings_guided(), 200, 11);
+        let naive = explore(&mut target, &Strategy::naive(3), 200, 11);
+        assert!(
+            guided.trials_with_violation > naive.trials_with_violation,
+            "guided {} vs naive {}",
+            guided.trials_with_violation,
+            naive.trials_with_violation
+        );
+        assert!(guided.hit_rate() > 0.1, "{}", guided.hit_rate());
+    }
+
+    #[test]
+    fn report_tracks_first_trial_and_kinds() {
+        let mut target = ToyTarget::new();
+        let guided = explore(&mut target, &Strategy::findings_guided(), 50, 3);
+        assert!(guided.first_violation_trial.is_some());
+        assert!(guided.kinds.contains_key(&ViolationKind::StaleRead));
+    }
+
+    #[test]
+    fn zero_trials_is_empty_report() {
+        let mut target = ToyTarget::new();
+        let r = explore(&mut target, &Strategy::naive(3), 0, 3);
+        assert_eq!(r.trials_with_violation, 0);
+        assert_eq!(r.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn random_split_is_a_partition_of_the_input() {
+        let servers: Vec<NodeId> = (0..5).map(NodeId).collect();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let (a, b) = random_split(&servers, &mut rng);
+            assert!(!a.is_empty() && !b.is_empty());
+            let mut all: Vec<NodeId> = a.iter().chain(b.iter()).copied().collect();
+            all.sort();
+            assert_eq!(all, servers);
+        }
+    }
+
+    #[test]
+    fn choose_spec_partial_leaves_a_bridge() {
+        let servers: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let spec = choose_spec(
+            PartitionKind::Partial,
+            &servers,
+            Some(NodeId(0)),
+            true,
+            &mut rng,
+        );
+        match spec {
+            PartitionSpec::Partial { a, b } => {
+                assert_eq!(a, vec![NodeId(0)]);
+                assert!(b.len() < 3, "a bridge node must remain connected");
+            }
+            other => panic!("expected partial, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Network-partitioning fault specifications (the paper's Figure 1).
+
+use std::collections::BTreeSet;
+
+use simnet::{
+    net::{bidirectional_pairs, simplex_pairs},
+    BlockRuleId, NodeId,
+};
+
+/// The three partition types studied by the paper (Table 6).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum PartitionKind {
+    /// The cluster is split into two disconnected halves (Figure 1.a).
+    Complete,
+    /// Two groups are disconnected while a third group still reaches both
+    /// (Figure 1.b).
+    Partial,
+    /// Traffic flows in one direction only (Figure 1.c).
+    Simplex,
+}
+
+impl std::fmt::Display for PartitionKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PartitionKind::Complete => "complete",
+            PartitionKind::Partial => "partial",
+            PartitionKind::Simplex => "simplex",
+        })
+    }
+}
+
+/// A network-partitioning fault to inject.
+///
+/// `Complete` and `Partial` have identical *mechanics* (both directions
+/// between group `a` and group `b` are blocked); they differ in intent and in
+/// group composition — a complete partition's groups cover the whole cluster,
+/// while a partial partition leaves a third group connected to both sides.
+/// Keeping both mirrors the paper's `Partitioner.complete`/`partial` API and
+/// lets harnesses classify the faults they injected (Table 6).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PartitionSpec {
+    /// Split `a` from `b` completely.
+    Complete { a: Vec<NodeId>, b: Vec<NodeId> },
+    /// Split `a` from `b` while every node outside `a ∪ b` reaches both.
+    Partial { a: Vec<NodeId>, b: Vec<NodeId> },
+    /// Drop traffic from `src` to `dst` only; replies still flow.
+    Simplex { src: Vec<NodeId>, dst: Vec<NodeId> },
+}
+
+impl PartitionSpec {
+    /// The taxonomy bucket of this fault.
+    pub fn kind(&self) -> PartitionKind {
+        match self {
+            PartitionSpec::Complete { .. } => PartitionKind::Complete,
+            PartitionSpec::Partial { .. } => PartitionKind::Partial,
+            PartitionSpec::Simplex { .. } => PartitionKind::Simplex,
+        }
+    }
+
+    /// The directed pairs this fault blocks.
+    pub fn pairs(&self) -> BTreeSet<(NodeId, NodeId)> {
+        match self {
+            PartitionSpec::Complete { a, b } | PartitionSpec::Partial { a, b } => {
+                bidirectional_pairs(a, b)
+            }
+            PartitionSpec::Simplex { src, dst } => simplex_pairs(src, dst),
+        }
+    }
+
+    /// Convenience: complete partition isolating exactly one node — the
+    /// fault the paper finds can trigger 88% of all failures (Finding 9).
+    pub fn isolate(node: NodeId, rest: Vec<NodeId>) -> Self {
+        PartitionSpec::Complete {
+            a: vec![node],
+            b: rest,
+        }
+    }
+}
+
+/// An installed partition, used to heal it later.
+///
+/// Returned by [`crate::engine::Neat::partition`]; pass it back to
+/// [`crate::engine::Neat::heal`].
+#[derive(Clone, Debug)]
+pub struct Partition {
+    pub(crate) rule: BlockRuleId,
+    /// The specification that was installed, for logging/classification.
+    pub spec: PartitionSpec,
+}
+
+impl Partition {
+    /// The taxonomy bucket of the installed fault.
+    pub fn kind(&self) -> PartitionKind {
+        self.spec.kind()
+    }
+}
+
+/// Returns `all` minus `group`, preserving order — the paper's
+/// `Partitioner.rest(minority)` helper (Listing 2).
+pub fn rest_of(all: &[NodeId], group: &[NodeId]) -> Vec<NodeId> {
+    all.iter().copied().filter(|n| !group.contains(n)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[usize]) -> Vec<NodeId> {
+        v.iter().copied().map(NodeId).collect()
+    }
+
+    #[test]
+    fn complete_and_partial_share_mechanics() {
+        let c = PartitionSpec::Complete {
+            a: ids(&[0]),
+            b: ids(&[1, 2]),
+        };
+        let p = PartitionSpec::Partial {
+            a: ids(&[0]),
+            b: ids(&[1, 2]),
+        };
+        assert_eq!(c.pairs(), p.pairs());
+        assert_ne!(c.kind(), p.kind());
+    }
+
+    #[test]
+    fn simplex_pairs_are_one_directional() {
+        let s = PartitionSpec::Simplex {
+            src: ids(&[0]),
+            dst: ids(&[1]),
+        };
+        let pairs = s.pairs();
+        assert!(pairs.contains(&(NodeId(0), NodeId(1))));
+        assert!(!pairs.contains(&(NodeId(1), NodeId(0))));
+    }
+
+    #[test]
+    fn isolate_builds_single_node_split() {
+        let s = PartitionSpec::isolate(NodeId(2), ids(&[0, 1]));
+        assert_eq!(s.kind(), PartitionKind::Complete);
+        assert_eq!(s.pairs().len(), 4);
+    }
+
+    #[test]
+    fn rest_of_excludes_group() {
+        let all = ids(&[0, 1, 2, 3]);
+        assert_eq!(rest_of(&all, &ids(&[1, 3])), ids(&[0, 2]));
+        assert_eq!(rest_of(&all, &[]), all);
+    }
+
+    #[test]
+    fn kind_display_matches_table6_labels() {
+        assert_eq!(PartitionKind::Complete.to_string(), "complete");
+        assert_eq!(PartitionKind::Partial.to_string(), "partial");
+        assert_eq!(PartitionKind::Simplex.to_string(), "simplex");
+    }
+}

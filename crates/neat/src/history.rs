@@ -1,0 +1,254 @@
+//! Operation histories: what each client invoked and what it observed.
+//!
+//! Every system model's client wrapper records one [`OpRecord`] per
+//! operation. The [`crate::checkers`] turn a [`History`] (plus the final
+//! state read after healing) into typed violations.
+
+use simnet::{NodeId, Time};
+
+/// An abstract client operation, covering the event palette of the paper's
+/// Table 8 (read, write, delete, lock, unlock, enqueue/dequeue, admin ops).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Op {
+    /// Write `val` to `key`. Values are unique per test so reads identify
+    /// their originating write.
+    Write { key: String, val: u64 },
+    /// Read `key`.
+    Read { key: String },
+    /// Delete `key`.
+    Delete { key: String },
+    /// Append `val` to the queue named `key`.
+    Enqueue { key: String, val: u64 },
+    /// Pop from the queue named `key`.
+    Dequeue { key: String },
+    /// Acquire the lock / a semaphore permit named `key`.
+    Acquire { key: String },
+    /// Release the lock / a semaphore permit named `key`.
+    Release { key: String },
+    /// Add `val` to the set named `key`.
+    Add { key: String, val: u64 },
+    /// Remove `val` from the set named `key`.
+    Remove { key: String, val: u64 },
+    /// Add `by` to the counter named `key`.
+    Incr { key: String, by: u64 },
+    /// Submit a job named `key` (schedulers).
+    Submit { key: String },
+    /// Anything else, labelled for the trace.
+    Other { label: String },
+}
+
+impl Op {
+    /// The key/resource this operation addresses.
+    pub fn key(&self) -> &str {
+        match self {
+            Op::Write { key, .. }
+            | Op::Read { key }
+            | Op::Delete { key }
+            | Op::Enqueue { key, .. }
+            | Op::Dequeue { key }
+            | Op::Acquire { key }
+            | Op::Release { key }
+            | Op::Add { key, .. }
+            | Op::Remove { key, .. }
+            | Op::Incr { key, .. }
+            | Op::Submit { key } => key,
+            Op::Other { label } => label,
+        }
+    }
+}
+
+/// The observed result of an operation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Outcome {
+    /// The operation succeeded; reads and dequeues carry the returned value
+    /// (`None` = key missing / queue empty).
+    Ok(Option<u64>),
+    /// The operation succeeded returning multiple values (set reads).
+    OkMany(Vec<u64>),
+    /// The system acknowledged a failure. A failed write must never become
+    /// visible (returning it later is a *dirty read*).
+    Fail,
+    /// No response within the timeout: the effect is unknown — the operation
+    /// may or may not have been applied.
+    Timeout,
+}
+
+impl Outcome {
+    /// `true` for `Ok`/`OkMany`.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Outcome::Ok(_) | Outcome::OkMany(_))
+    }
+
+    /// The single returned value, if any.
+    pub fn value(&self) -> Option<u64> {
+        match self {
+            Outcome::Ok(v) => *v,
+            _ => None,
+        }
+    }
+}
+
+/// One recorded operation: who, what, when, and what came back.
+#[derive(Clone, Debug)]
+pub struct OpRecord {
+    /// The client node that issued the operation.
+    pub client: NodeId,
+    pub op: Op,
+    pub outcome: Outcome,
+    /// Virtual time of invocation.
+    pub start: Time,
+    /// Virtual time of completion (for timeouts: when the client gave up).
+    pub end: Time,
+}
+
+impl OpRecord {
+    /// `true` when `self` finished no later than `other` started —
+    /// real-time precedence, used throughout the checkers.
+    ///
+    /// The comparison is inclusive because the NEAT engine globally orders
+    /// client operations: an operation completing at virtual time `t` and
+    /// the next invoked at `t` are still sequential, and the millisecond
+    /// clock often makes them touch.
+    pub fn precedes(&self, other: &OpRecord) -> bool {
+        self.end <= other.start
+    }
+}
+
+/// An append-only log of [`OpRecord`]s in global invocation order.
+#[derive(Clone, Debug, Default)]
+pub struct History {
+    records: Vec<OpRecord>,
+}
+
+impl History {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, rec: OpRecord) {
+        self.records.push(rec);
+    }
+
+    /// All records, in invocation order.
+    pub fn records(&self) -> &[OpRecord] {
+        &self.records
+    }
+
+    /// Number of recorded operations.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records addressing `key`, in order.
+    pub fn for_key<'a>(&'a self, key: &'a str) -> impl Iterator<Item = &'a OpRecord> {
+        self.records.iter().filter(move |r| r.op.key() == key)
+    }
+
+    /// Distinct keys appearing in the history, sorted.
+    pub fn keys(&self) -> Vec<String> {
+        let mut ks: Vec<String> = self.records.iter().map(|r| r.op.key().to_string()).collect();
+        ks.sort();
+        ks.dedup();
+        ks
+    }
+
+    /// Renders the history one line per operation, like the paper's test
+    /// listings print their workload.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&format!(
+                "[{:>6}..{:>6}] {} {:?} -> {:?}\n",
+                r.start, r.end, r.client, r.op, r.outcome
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(op: Op, outcome: Outcome, start: Time, end: Time) -> OpRecord {
+        OpRecord {
+            client: NodeId(9),
+            op,
+            outcome,
+            start,
+            end,
+        }
+    }
+
+    #[test]
+    fn precedes_is_inclusive() {
+        let a = rec(Op::Read { key: "k".into() }, Outcome::Ok(None), 0, 5);
+        let b = rec(Op::Read { key: "k".into() }, Outcome::Ok(None), 5, 9);
+        let c = rec(Op::Read { key: "k".into() }, Outcome::Ok(None), 4, 9);
+        assert!(
+            a.precedes(&b),
+            "touching intervals are ordered under the global-order engine"
+        );
+        assert!(!a.precedes(&c), "overlapping intervals are concurrent");
+    }
+
+    #[test]
+    fn for_key_filters() {
+        let mut h = History::new();
+        h.push(rec(
+            Op::Write { key: "a".into(), val: 1 },
+            Outcome::Ok(None),
+            0,
+            1,
+        ));
+        h.push(rec(Op::Read { key: "b".into() }, Outcome::Ok(None), 2, 3));
+        assert_eq!(h.for_key("a").count(), 1);
+        assert_eq!(h.keys(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        assert!(Outcome::Ok(Some(3)).is_ok());
+        assert!(Outcome::OkMany(vec![]).is_ok());
+        assert!(!Outcome::Fail.is_ok());
+        assert!(!Outcome::Timeout.is_ok());
+        assert_eq!(Outcome::Ok(Some(3)).value(), Some(3));
+        assert_eq!(Outcome::Fail.value(), None);
+    }
+
+    #[test]
+    fn op_key_covers_all_variants() {
+        let ops = [
+            Op::Write { key: "k".into(), val: 0 },
+            Op::Read { key: "k".into() },
+            Op::Delete { key: "k".into() },
+            Op::Enqueue { key: "k".into(), val: 0 },
+            Op::Dequeue { key: "k".into() },
+            Op::Acquire { key: "k".into() },
+            Op::Release { key: "k".into() },
+            Op::Add { key: "k".into(), val: 0 },
+            Op::Remove { key: "k".into(), val: 0 },
+            Op::Incr { key: "k".into(), by: 1 },
+            Op::Submit { key: "k".into() },
+        ];
+        for op in ops {
+            assert_eq!(op.key(), "k");
+        }
+        assert_eq!(Op::Other { label: "boot".into() }.key(), "boot");
+    }
+
+    #[test]
+    fn render_is_one_line_per_op() {
+        let mut h = History::new();
+        h.push(rec(Op::Read { key: "k".into() }, Outcome::Timeout, 1, 2));
+        h.push(rec(Op::Read { key: "k".into() }, Outcome::Fail, 3, 4));
+        assert_eq!(h.render().lines().count(), 2);
+    }
+}

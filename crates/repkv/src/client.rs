@@ -1,0 +1,144 @@
+//! Client process and the synchronous client wrapper used by tests.
+
+use std::collections::BTreeMap;
+
+use neat::{Neat, Op, OpRecord, Outcome};
+use simnet::{Ctx, NodeId};
+
+use crate::{
+    cluster::Proc,
+    msg::{Msg, Req, Resp},
+};
+
+/// The client-side process: fires requests at a server and collects
+/// responses by operation id.
+#[derive(Default)]
+pub struct ClientProc {
+    next_op: u64,
+    results: BTreeMap<u64, Resp>,
+}
+
+impl ClientProc {
+    /// Sends `req` to `server`, returning the operation id to poll.
+    pub fn start(&mut self, ctx: &mut Ctx<'_, Msg>, server: NodeId, req: Req) -> u64 {
+        // Operation ids are globally unique (client id in the high bits) so
+        // coordinator timers on different servers never collide.
+        let op_id = (ctx.id().0 as u64) << 32 | self.next_op;
+        self.next_op += 1;
+        ctx.send(server, Msg::ClientReq { op_id, req });
+        op_id
+    }
+
+    /// Removes and returns the response for `op_id`, if it arrived.
+    pub fn take(&mut self, op_id: u64) -> Option<Resp> {
+        self.results.remove(&op_id)
+    }
+
+    pub(crate) fn on_message(&mut self, msg: Msg) {
+        if let Msg::ClientResp { op_id, resp } = msg {
+            self.results.insert(op_id, resp);
+        }
+    }
+}
+
+/// A synchronous client handle bound to one client node and one target
+/// server — the `Client` wrapper class of the paper's NEAT API (§6.1).
+///
+/// Every call drives the simulation until the operation completes or the
+/// engine's `op_timeout` elapses, records the [`OpRecord`] in the engine's
+/// history, and returns the [`Outcome`].
+#[derive(Clone, Copy, Debug)]
+pub struct KvClient {
+    /// The client node issuing requests.
+    pub node: NodeId,
+    /// The server the client talks to.
+    pub target: NodeId,
+}
+
+impl KvClient {
+    /// Points this handle at a different server.
+    pub fn via(self, target: NodeId) -> Self {
+        Self { target, ..self }
+    }
+
+    fn run(&self, neat: &mut Neat<Proc>, req: Req, op: Op) -> Outcome {
+        let start = neat.now();
+        let target = self.target;
+        let started = neat.world.call(self.node, |p, ctx| {
+            p.client_mut().start(ctx, target, req.clone())
+        });
+        let outcome = match started {
+            Err(_) => Outcome::Timeout,
+            Ok(op_id) => {
+                let node = self.node;
+                let resp = neat.run_op(
+                    |_| Ok(()),
+                    |w| w.app_mut(node).client_mut().take(op_id),
+                );
+                match resp {
+                    Some(Resp::Ok) => Outcome::Ok(None),
+                    Some(Resp::Value(v)) => Outcome::Ok(v),
+                    Some(Resp::Fail) => Outcome::Fail,
+                    None => Outcome::Timeout,
+                }
+            }
+        };
+        let end = neat.now();
+        neat.record(OpRecord {
+            client: self.node,
+            op,
+            outcome: outcome.clone(),
+            start,
+            end,
+        });
+        outcome
+    }
+
+    /// Writes `val` to `key`.
+    pub fn write(&self, neat: &mut Neat<Proc>, key: &str, val: u64) -> Outcome {
+        self.run(
+            neat,
+            Req::Write {
+                key: key.into(),
+                val,
+            },
+            Op::Write {
+                key: key.into(),
+                val,
+            },
+        )
+    }
+
+    /// Reads `key`.
+    pub fn read(&self, neat: &mut Neat<Proc>, key: &str) -> Outcome {
+        self.run(
+            neat,
+            Req::Read { key: key.into() },
+            Op::Read { key: key.into() },
+        )
+    }
+
+    /// Deletes `key`.
+    pub fn delete(&self, neat: &mut Neat<Proc>, key: &str) -> Outcome {
+        self.run(
+            neat,
+            Req::Delete { key: key.into() },
+            Op::Delete { key: key.into() },
+        )
+    }
+
+    /// Adds `by` to the counter at `key` (non-idempotent).
+    pub fn incr(&self, neat: &mut Neat<Proc>, key: &str, by: u64) -> Outcome {
+        self.run(
+            neat,
+            Req::Incr {
+                key: key.into(),
+                by,
+            },
+            Op::Incr {
+                key: key.into(),
+                by,
+            },
+        )
+    }
+}

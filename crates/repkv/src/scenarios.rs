@@ -1,0 +1,542 @@
+//! Reusable reproductions of the paper's primary-backup failures.
+//!
+//! Every scenario takes the [`Config`] to run under, so the same
+//! manifestation sequence can be executed against a flawed profile (where
+//! the checkers find the paper's violation) and against [`Config::fixed`]
+//! (where they find nothing) — the ablation the benches report.
+
+use std::collections::BTreeMap;
+
+use neat::{
+    checkers::{check_counter, check_register, RegisterSemantics},
+    rest_of, Violation, ViolationKind,
+};
+use crate::{
+    cluster::{Cluster, ClusterSpec},
+    config::Config,
+    server::Role,
+};
+
+/// What a scenario produced.
+#[derive(Debug)]
+pub struct ScenarioOutcome {
+    /// Violations the NEAT checkers detected.
+    pub violations: Vec<Violation>,
+    /// Total elections won across servers (thrash metric).
+    pub elections: u64,
+    /// Manifestation-sequence summary (non-empty when tracing was on).
+    pub trace: String,
+    /// The final per-key state used by the register checker.
+    pub final_state: BTreeMap<String, Option<u64>>,
+    /// Rendered operation history, one line per op.
+    pub history: String,
+}
+
+impl ScenarioOutcome {
+    /// Kinds of the detected violations, deduplicated and sorted.
+    pub fn kinds(&self) -> Vec<ViolationKind> {
+        let mut ks: Vec<ViolationKind> = self.violations.iter().map(|v| v.kind).collect();
+        ks.sort();
+        ks.dedup();
+        ks
+    }
+
+    /// `true` when a violation of `kind` was detected.
+    pub fn has(&self, kind: ViolationKind) -> bool {
+        self.violations.iter().any(|v| v.kind == kind)
+    }
+}
+
+fn finish(cluster: &Cluster, keys: &[&str]) -> ScenarioOutcome {
+    let final_state = cluster.final_state(keys);
+    let violations = check_register(
+        cluster.neat.history(),
+        RegisterSemantics::Strong,
+        &final_state,
+    );
+    ScenarioOutcome {
+        violations,
+        elections: cluster.total_elections(),
+        trace: cluster.neat.world.trace().summary(),
+        final_state,
+        history: cluster.neat.history().render(),
+    }
+}
+
+fn spec(config: Config, seed: u64, record: bool) -> ClusterSpec {
+    ClusterSpec {
+        record_trace: record,
+        ..ClusterSpec::three_by_two(config, seed)
+    }
+}
+
+/// Figure 2: a complete partition isolates the master; a write at the old
+/// master fails yet stays visible (dirty read), and after the majority
+/// elects a new master, the old one still serves the old value (stale read).
+pub fn dirty_and_stale_read(mut config: Config, seed: u64, record: bool) -> ScenarioOutcome {
+    // The old master must keep serving through the overlap window — the
+    // paper's "period of time in which each partition has a leader".
+    config.step_down_rounds = 30;
+    let mut cluster = Cluster::build(spec(config, seed, record));
+    let old = cluster.wait_for_leader(3000).expect("initial leader");
+    let c1 = cluster.client(0).via(old);
+    c1.write(&mut cluster.neat, "dirty_key", 10);
+    c1.write(&mut cluster.neat, "stale_key", 10);
+
+    // (1) Complete partition: old master + client1 vs the rest + client2.
+    let minority = [old, cluster.clients[0]];
+    let majority = rest_of(&cluster.neat.world.node_ids(), &minority);
+    let p = cluster.neat.partition_complete(&minority, &majority);
+
+    // (2) Write at the old master right after the fault (the paper's timing
+    // constraint): replication cannot reach a majority, so it fails.
+    c1.write(&mut cluster.neat, "dirty_key", 20);
+    // (3) Read at the old master: under the flawed profile this returns 20.
+    c1.read(&mut cluster.neat, "dirty_key");
+
+    // Majority side elects a new master, then accepts a write.
+    let deadline = cluster.neat.now() + 1200;
+    let rest = rest_of(&cluster.servers, &[old]);
+    while cluster.neat.now() < deadline {
+        let elected = rest
+            .iter()
+            .any(|&s| cluster.neat.world.app(s).server().role() == Role::Leader);
+        if elected {
+            break;
+        }
+        cluster.neat.sleep(10);
+    }
+    if let Some(new_leader) = rest
+        .iter()
+        .copied()
+        .find(|&s| cluster.neat.world.app(s).server().role() == Role::Leader)
+    {
+        let c2 = cluster.client(1).via(new_leader);
+        c2.write(&mut cluster.neat, "stale_key", 30);
+        // Read at the old master while both leaders coexist: it still
+        // serves the pre-partition value 10 — a stale read.
+        c1.read(&mut cluster.neat, "stale_key");
+    }
+
+    cluster.neat.heal(&p);
+    cluster.settle(2000);
+    finish(&cluster, &["dirty_key", "stale_key"])
+}
+
+/// ENG-10486: the longest-log election criterion lets an old minority
+/// master with *failed* (uncommitted) writes win the post-heal election and
+/// erase the majority's committed write.
+pub fn longest_log_data_loss(mut config: Config, seed: u64, record: bool) -> ScenarioOutcome {
+    // The old master must survive as leader until the heal so the two logs
+    // meet while its (longer) log is still authoritative.
+    config.step_down_rounds = 60;
+    let mut cluster = Cluster::build(spec(config, seed, record));
+    let old = cluster.wait_for_leader(3000).expect("initial leader");
+    let c1 = cluster.client(0).via(old);
+    c1.write(&mut cluster.neat, "k1", 1);
+
+    let minority = [old, cluster.clients[0]];
+    let majority = rest_of(&cluster.neat.world.node_ids(), &minority);
+    let p = cluster.neat.partition_complete(&minority, &majority);
+
+    // Pad the old master's log with writes that fail to replicate.
+    c1.write(&mut cluster.neat, "k2", 2);
+    c1.write(&mut cluster.neat, "k3", 3);
+    c1.write(&mut cluster.neat, "k4", 4);
+
+    // Wait until the majority elects a new master, then commit a write there.
+    let deadline = cluster.neat.now() + 1200;
+    let rest = rest_of(&cluster.servers, &[old]);
+    while cluster.neat.now() < deadline && {
+        !rest
+            .iter()
+            .any(|&s| cluster.neat.world.app(s).server().role() == Role::Leader)
+    } {
+        cluster.neat.sleep(10);
+    }
+    let new_leader = rest
+        .iter()
+        .copied()
+        .find(|&s| cluster.neat.world.app(s).server().role() == Role::Leader)
+        .expect("majority side leader");
+    let c2 = cluster.client(1).via(new_leader);
+    c2.write(&mut cluster.neat, "k5", 5);
+
+    cluster.neat.heal(&p);
+    cluster.settle(2000);
+    finish(&cluster, &["k1", "k2", "k3", "k4", "k5"])
+}
+
+/// Listing 1: a partial partition with an intersecting bridge node yields
+/// two simultaneous leaders; writes succeed on both sides; after healing,
+/// the election criterion picks one log and the other side's acknowledged
+/// write is lost.
+pub fn listing1_data_loss(config: Config, seed: u64, record: bool) -> ScenarioOutcome {
+    let mut cluster = Cluster::build(spec(config, seed, record));
+    let s1 = cluster.wait_for_leader(3000).expect("initial leader");
+    let others = rest_of(&cluster.servers, &[s1]);
+    let (s2, _s3) = (others[0], others[1]);
+
+    // Partial partition: {primary, client1} | {s2, client2}; s3 bridges.
+    let side1 = [s1, cluster.clients[0]];
+    let side2 = [s2, cluster.clients[1]];
+    let p = cluster.neat.partition_partial(&side1, &side2);
+
+    // sleep(SLEEP_LEADER_ELECTION_PERIOD): s2 elects itself with the bridge
+    // node's vote.
+    cluster.settle(600);
+
+    let c1 = cluster.client(0).via(s1);
+    let c2 = cluster.client(1).via(s2);
+    c1.write(&mut cluster.neat, "obj1", 1);
+    c2.write(&mut cluster.neat, "obj2", 2);
+
+    cluster.neat.heal(&p);
+    cluster.settle(2000);
+
+    // Listing 1's verification step: client2 reads both objects.
+    let leader = cluster.leader().unwrap_or(s1);
+    let c2 = c2.via(leader);
+    c2.read(&mut cluster.neat, "obj1");
+    c2.read(&mut cluster.neat, "obj2");
+
+    finish(&cluster, &["obj1", "obj2"])
+}
+
+/// Issue #9967: a simplex partition drops the primary→coordinator
+/// direction; the coordinator reports failure although the primary applied
+/// and committed the operation. A retried increment executes twice
+/// (data corruption), and a "failed" write remains visible (dirty read).
+pub fn coordinator_double_execution(config: Config, seed: u64, record: bool) -> ScenarioOutcome {
+    let coordinator_routing = config.coordinator_routing;
+    let mut cluster = Cluster::build(spec(config, seed, record));
+    let leader = cluster.wait_for_leader(3000).expect("leader");
+    let coordinator = rest_of(&cluster.servers, &[leader])[0];
+
+    // Simplex: primary → coordinator replies vanish; everything else flows.
+    let p = cluster.neat.partition_simplex(&[leader], &[coordinator]);
+
+    let c1 = cluster.client(0).via(coordinator);
+    // The increment "fails" at the coordinator… so the client retries.
+    c1.incr(&mut cluster.neat, "counter", 1);
+    c1.incr(&mut cluster.neat, "counter", 1);
+    // A write that "fails" the same way stays visible to other clients.
+    c1.write(&mut cluster.neat, "w", 42);
+
+    cluster.neat.heal(&p);
+    cluster.settle(1500);
+
+    let leader_now = cluster.leader().unwrap_or(leader);
+    let c2 = cluster.client(1).via(leader_now);
+    c2.read(&mut cluster.neat, "w");
+
+    let mut outcome = finish(&cluster, &["w"]);
+    let final_counter = cluster
+        .kv_of(leader_now)
+        .get("counter")
+        .copied()
+        .unwrap_or(0);
+    outcome.violations.extend(check_counter(
+        cluster.neat.history(),
+        "counter",
+        0,
+        final_counter,
+    ));
+    // Without request routing the operations are refused up front and
+    // nothing double-executes; with it, the counter shows the flaw.
+    let _ = coordinator_routing;
+    outcome
+}
+
+/// Jepsen-Redis: asynchronous replication acknowledges writes that exist
+/// only on the isolated master; failover then rolls them back.
+pub fn async_replication_data_loss(mut config: Config, seed: u64, record: bool) -> ScenarioOutcome {
+    config.step_down_rounds = 20;
+    let mut cluster = Cluster::build(spec(config, seed, record));
+    let old = cluster.wait_for_leader(3000).expect("leader");
+    let c1 = cluster.client(0).via(old);
+
+    let minority = [old, cluster.clients[0]];
+    let majority = rest_of(&cluster.neat.world.node_ids(), &minority);
+    let p = cluster.neat.partition_complete(&minority, &majority);
+
+    // Acknowledged instantly under async replication — on the wrong side.
+    c1.write(&mut cluster.neat, "k", 1);
+
+    cluster.settle(600);
+    cluster.neat.heal(&p);
+    cluster.settle(2000);
+    finish(&cluster, &["k"])
+}
+
+/// Aerospike [140]-style: the latest-operation-timestamp consolidation
+/// criterion lets an old leader whose log merely *contains* a late
+/// (failed!) write win the merge — resurrecting a successfully deleted
+/// key on the majority side.
+pub fn timestamp_consolidation_reappearance(
+    mut config: Config,
+    seed: u64,
+    record: bool,
+) -> ScenarioOutcome {
+    config.step_down_rounds = 60; // the old leader survives to the heal
+    let mut cluster = Cluster::build(spec(config, seed, record));
+    let old = cluster.wait_for_leader(3000).expect("initial leader");
+    let c1 = cluster.client(0).via(old);
+    // The doomed record, fully replicated.
+    c1.write(&mut cluster.neat, "doomed", 1);
+
+    let minority = [old, cluster.clients[0]];
+    let majority = rest_of(&cluster.neat.world.node_ids(), &minority);
+    let p = cluster.neat.partition_complete(&minority, &majority);
+
+    // The majority elects a new leader and successfully DELETES the record.
+    let deadline = cluster.neat.now() + 1200;
+    let rest = rest_of(&cluster.servers, &[old]);
+    while cluster.neat.now() < deadline
+        && !rest
+            .iter()
+            .any(|&s| cluster.neat.world.app(s).server().role() == Role::Leader)
+    {
+        cluster.neat.sleep(10);
+    }
+    let new_leader = rest
+        .iter()
+        .copied()
+        .find(|&s| cluster.neat.world.app(s).server().role() == Role::Leader)
+        .expect("majority leader");
+    let c2 = cluster.client(1).via(new_leader);
+    c2.delete(&mut cluster.neat, "doomed");
+
+    // Meanwhile the old leader's log gains a LATER timestamp from a write
+    // that fails to replicate — enough to win a timestamp-based merge.
+    c1.write(&mut cluster.neat, "unrelated", 7);
+
+    cluster.neat.heal(&p);
+    cluster.settle(2000);
+    finish(&cluster, &["doomed"])
+}
+
+/// SERVER-14885: a replica with absolute election priority vetoes every
+/// other candidate; isolating it leaves the majority unable to elect a
+/// leader at all — total write unavailability.
+pub fn priority_livelock(config: Config, seed: u64, record: bool) -> ScenarioOutcome {
+    let mut cluster = Cluster::build(spec(config, seed, record));
+    let leader = cluster.wait_for_leader(3000).expect("leader");
+    let rest = rest_of(&cluster.servers, &[leader]);
+
+    let p = cluster
+        .neat
+        .partition_complete(&[leader], &rest_of(&cluster.neat.world.node_ids(), &[leader, cluster.clients[0]]));
+
+    // Give the majority ample time to elect… which it cannot.
+    cluster.settle(2000);
+    let c2 = cluster.client(1).via(rest[0]);
+    let w = c2.write(&mut cluster.neat, "k", 1);
+
+    let majority_leader = rest
+        .iter()
+        .copied()
+        .find(|&s| cluster.neat.world.app(s).server().role() == Role::Leader);
+
+    cluster.neat.heal(&p);
+    cluster.settle(2000);
+
+    let mut outcome = finish(&cluster, &[]);
+    if majority_leader.is_none() && !w.is_ok() {
+        outcome.violations.push(Violation::new(
+            ViolationKind::DataUnavailability,
+            "majority side could not elect a leader; writes unavailable for the whole partition",
+        ));
+    }
+    outcome
+}
+
+/// §4.4 MongoDB arbiter thrashing: a partial partition separates the two
+/// data replicas while the arbiter reaches both; leadership ping-pongs
+/// until the partition heals.
+pub fn arbiter_thrashing(mut config: Config, seed: u64, record: bool) -> ScenarioOutcome {
+    // Pre-pv1 MongoDB arbiters vote even while they see a healthy primary.
+    config.vote_while_connected_to_leader = true;
+    let mut cluster = Cluster::build(ClusterSpec {
+        servers: 3,
+        clients: 1,
+        arbiter: true,
+        config,
+        seed,
+        record_trace: record,
+    });
+    let a = cluster.data_servers()[0];
+    let b = cluster.data_servers()[1];
+    cluster.wait_for_leader(3000).expect("leader");
+    let elections_before = cluster.total_elections();
+
+    let p = cluster.neat.partition_partial(&[a], &[b]);
+    cluster.settle(4000);
+    let thrash = cluster.total_elections() - elections_before;
+    cluster.neat.heal(&p);
+    cluster.settle(1500);
+
+    let mut outcome = finish(&cluster, &[]);
+    outcome.elections = thrash;
+    if thrash >= 4 {
+        outcome.violations.push(Violation::new(
+            ViolationKind::Other,
+            format!(
+                "leadership thrashed {thrash} times during the partial partition \
+                 (availability degradation, §4.4)"
+            ),
+        ));
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_dirty_and_stale_reads_on_voltdb_profile() {
+        let out = dirty_and_stale_read(Config::voltdb(), 7, false);
+        assert!(out.has(ViolationKind::DirtyRead), "{:?}", out.violations);
+        assert!(out.has(ViolationKind::StaleRead), "{:?}", out.violations);
+    }
+
+    #[test]
+    fn figure2_clean_on_fixed_profile() {
+        let out = dirty_and_stale_read(Config::fixed(), 7, false);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+    }
+
+    #[test]
+    fn mongodb_profile_also_shows_stale_reads() {
+        let out = dirty_and_stale_read(Config::mongodb(), 11, false);
+        assert!(out.has(ViolationKind::StaleRead), "{:?}", out.violations);
+    }
+
+    #[test]
+    fn longest_log_erases_committed_write() {
+        let out = longest_log_data_loss(Config::voltdb(), 5, false);
+        assert!(out.has(ViolationKind::DataLoss), "{:?}", out.violations);
+        // Specifically, the majority's k5 must be the casualty.
+        assert_eq!(out.final_state.get("k5"), Some(&None));
+    }
+
+    #[test]
+    fn longest_log_scenario_clean_on_fixed_profile() {
+        let out = longest_log_data_loss(Config::fixed(), 5, false);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+    }
+
+    #[test]
+    fn listing1_loses_one_side_on_elasticsearch_profile() {
+        let out = listing1_data_loss(Config::elasticsearch(), 3, false);
+        assert!(out.has(ViolationKind::DataLoss), "{:?}", out.violations);
+    }
+
+    #[test]
+    fn listing1_clean_on_fixed_profile() {
+        let out = listing1_data_loss(Config::fixed(), 3, false);
+        assert!(
+            !out.has(ViolationKind::DataLoss),
+            "{:?}",
+            out.violations
+        );
+    }
+
+    #[test]
+    fn coordinator_retry_double_executes() {
+        let out = coordinator_double_execution(Config::elasticsearch(), 9, false);
+        assert!(
+            out.has(ViolationKind::DataCorruption),
+            "{:?}",
+            out.violations
+        );
+        assert!(out.has(ViolationKind::DirtyRead), "{:?}", out.violations);
+    }
+
+    #[test]
+    fn coordinator_scenario_clean_on_fixed_profile() {
+        let out = coordinator_double_execution(Config::fixed(), 9, false);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+    }
+
+    #[test]
+    fn async_replication_loses_acked_write() {
+        let out = async_replication_data_loss(Config::redis(), 13, false);
+        assert!(out.has(ViolationKind::DataLoss), "{:?}", out.violations);
+    }
+
+    #[test]
+    fn sync_replication_does_not_lose_the_write() {
+        let out = async_replication_data_loss(Config::fixed(), 13, false);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+    }
+
+    #[test]
+    fn timestamp_merge_resurrects_deleted_data() {
+        let out = timestamp_consolidation_reappearance(Config::mongodb(), 23, false);
+        assert!(
+            out.has(ViolationKind::ReappearanceOfDeletedData),
+            "{:?}",
+            out.violations
+        );
+    }
+
+    #[test]
+    fn term_based_merge_keeps_the_delete() {
+        let out = timestamp_consolidation_reappearance(Config::fixed(), 23, false);
+        assert!(
+            !out.has(ViolationKind::ReappearanceOfDeletedData),
+            "{:?}",
+            out.violations
+        );
+    }
+
+    #[test]
+    fn priority_veto_causes_unavailability() {
+        let out = priority_livelock(Config::mongodb_with_priority(0), 17, false);
+        assert!(
+            out.has(ViolationKind::DataUnavailability),
+            "{:?}",
+            out.violations
+        );
+    }
+
+    #[test]
+    fn no_priority_no_unavailability() {
+        let out = priority_livelock(Config::mongodb(), 17, false);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+    }
+
+    #[test]
+    fn arbiter_thrashing_under_partial_partition() {
+        let out = arbiter_thrashing(Config::mongodb(), 19, false);
+        assert!(out.elections >= 4, "only {} elections", out.elections);
+        assert!(out.has(ViolationKind::Other));
+    }
+
+    #[test]
+    fn no_thrashing_without_the_connected_vote_flaw() {
+        // With the veto in place the arbiter refuses to elect a second
+        // leader while the current one is healthy.
+        let mut cfg = Config::fixed();
+        cfg.vote_while_connected_to_leader = false;
+        let mut cluster = Cluster::build(ClusterSpec {
+            servers: 3,
+            clients: 1,
+            arbiter: true,
+            config: cfg,
+            seed: 19,
+            record_trace: false,
+        });
+        let a = cluster.data_servers()[0];
+        let b = cluster.data_servers()[1];
+        cluster.wait_for_leader(3000).expect("leader");
+        let before = cluster.total_elections();
+        let p = cluster.neat.partition_partial(&[a], &[b]);
+        cluster.settle(4000);
+        let thrash = cluster.total_elections() - before;
+        cluster.neat.heal(&p);
+        assert!(thrash <= 2, "unexpected thrashing: {thrash}");
+    }
+}

@@ -1,0 +1,9 @@
+//! Scheduler models: the MapReduce-like ResourceManager/AppMaster pipeline
+//! (Figure 3 double execution, MAPREDUCE-4819) and the DKron-like job
+//! scheduler (dkron #379 misleading status).
+
+pub mod dkron;
+pub mod mapred;
+
+pub use dkron::{misleading_status, DkCluster, DkFlaws};
+pub use mapred::{double_execution, MrCluster, MrFlaws};

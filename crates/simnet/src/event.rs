@@ -1,0 +1,172 @@
+//! Event queue primitives: virtual time, timers, and the ordered event heap.
+
+use std::{
+    cmp::Reverse,
+    collections::BinaryHeap,
+};
+
+use crate::NodeId;
+
+/// Virtual time in milliseconds since the start of the simulation.
+pub type Time = u64;
+
+/// Identifier of a pending timer, returned by [`crate::Ctx::set_timer`].
+///
+/// Timer ids are unique for the lifetime of a [`crate::World`]; cancelling an
+/// already fired or cancelled timer is a harmless no-op.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TimerId(pub u64);
+
+/// What a scheduled event does when it fires.
+#[derive(Debug)]
+pub(crate) enum EventKind<M> {
+    /// Deliver `msg` from `from` to `to`, unless a block rule or a crash
+    /// intercepts it at delivery time.
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+    },
+    /// Fire timer `id` with `tag` at node `node`, unless cancelled or the
+    /// node crashed since it was set (`epoch` mismatch).
+    Timer {
+        node: NodeId,
+        id: TimerId,
+        tag: u64,
+        epoch: u64,
+    },
+}
+
+/// An entry in the event heap, totally ordered by `(time, seq)`.
+#[derive(Debug)]
+pub(crate) struct Event<M> {
+    pub time: Time,
+    pub seq: u64,
+    pub kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A min-heap of events ordered by `(time, seq)`.
+///
+/// The sequence number makes the order total and therefore the simulation
+/// deterministic: two events scheduled for the same instant fire in the order
+/// they were scheduled.
+#[derive(Debug)]
+pub(crate) struct EventQueue<M> {
+    heap: BinaryHeap<Reverse<Event<M>>>,
+    next_seq: u64,
+}
+
+impl<M> EventQueue<M> {
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `kind` to fire at `time`, returning its sequence number.
+    pub fn push(&mut self, time: Time, kind: EventKind<M>) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Event { time, seq, kind }));
+        seq
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<Event<M>> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+
+    /// Returns the time of the earliest pending event without removing it.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    #[allow(dead_code)]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deliver(to: usize) -> EventKind<u32> {
+        EventKind::Deliver {
+            from: NodeId(0),
+            to: NodeId(to),
+            msg: 0,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, deliver(3));
+        q.push(10, deliver(1));
+        q.push(20, deliver(2));
+        let order: Vec<Time> = std::iter::from_fn(|| q.pop().map(|e| e.time)).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(5, deliver(i));
+        }
+        let mut prev = None;
+        while let Some(e) = q.pop() {
+            if let Some(p) = prev {
+                assert!(e.seq > p, "same-time events must pop in insertion order");
+            }
+            prev = Some(e.seq);
+        }
+    }
+
+    #[test]
+    fn peek_time_matches_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(42, deliver(0));
+        q.push(7, deliver(1));
+        assert_eq!(q.peek_time(), Some(7));
+        assert_eq!(q.pop().unwrap().time, 7);
+        assert_eq!(q.peek_time(), Some(42));
+    }
+
+    #[test]
+    fn len_tracks_contents() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(1, deliver(0));
+        q.push(2, deliver(1));
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}

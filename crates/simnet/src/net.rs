@@ -1,0 +1,270 @@
+//! The network fabric: latency model and directional block rules.
+//!
+//! Network partitions are expressed as *block rules*: sets of directed
+//! `(src, dst)` pairs whose traffic is dropped. Rules stack — a pair is
+//! blocked while at least one installed rule covers it — mirroring how the
+//! paper's NEAT partitioner installs OpenFlow drop rules at a higher priority
+//! than the learning-switch rules and removes them on heal.
+//!
+//! All three fault types of the paper's Figure 1 reduce to block rules:
+//!
+//! - **complete partition**: block both directions between two groups that
+//!   together cover the cluster;
+//! - **partial partition**: block both directions between two groups while a
+//!   third group stays connected to both;
+//! - **simplex partition**: block one direction only.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rand::{rngs::StdRng, Rng};
+
+use crate::{event::Time, NodeId};
+
+/// Identifier of an installed block rule, used to remove it on heal.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BlockRuleId(pub u64);
+
+/// Latency model for every link in the fabric.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkConfig {
+    /// Fixed one-way latency applied to every message, in milliseconds.
+    pub base_latency: Time,
+    /// Maximum extra latency; the actual jitter is drawn uniformly from
+    /// `0..=jitter` using the world's seeded RNG.
+    pub jitter: Time,
+    /// When `true` (the default), messages on the same directed link are
+    /// delivered in send order, like a TCP connection. When `false`, jitter
+    /// may reorder them, like UDP.
+    pub fifo: bool,
+    /// Probability in `[0, 1]` that any message is silently dropped —
+    /// the *flaky link* condition the paper names as a cause of partial
+    /// partitions (§2.1). Deterministic given the world seed.
+    pub drop_probability: f64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        Self {
+            base_latency: 1,
+            jitter: 1,
+            fifo: true,
+            drop_probability: 0.0,
+        }
+    }
+}
+
+/// The network fabric: computes delivery delays and answers "is this directed
+/// pair currently blocked?".
+#[derive(Debug)]
+pub struct Net {
+    config: LinkConfig,
+    rules: BTreeMap<BlockRuleId, BTreeSet<(NodeId, NodeId)>>,
+    next_rule: u64,
+    /// Last scheduled delivery time per directed link, for FIFO enforcement.
+    link_last: BTreeMap<(NodeId, NodeId), Time>,
+}
+
+impl Net {
+    pub(crate) fn new(config: LinkConfig) -> Self {
+        Self {
+            config,
+            rules: BTreeMap::new(),
+            next_rule: 0,
+            link_last: BTreeMap::new(),
+        }
+    }
+
+    /// Installs a rule dropping traffic for every directed pair in `pairs`.
+    pub fn block_pairs(&mut self, pairs: BTreeSet<(NodeId, NodeId)>) -> BlockRuleId {
+        let id = BlockRuleId(self.next_rule);
+        self.next_rule += 1;
+        self.rules.insert(id, pairs);
+        id
+    }
+
+    /// Removes a previously installed rule. Removing an unknown or already
+    /// removed rule is a no-op, so healing twice is harmless.
+    pub fn unblock(&mut self, id: BlockRuleId) {
+        self.rules.remove(&id);
+    }
+
+    /// Returns `true` while any installed rule blocks `src → dst`.
+    pub fn is_blocked(&self, src: NodeId, dst: NodeId) -> bool {
+        self.rules.values().any(|set| set.contains(&(src, dst)))
+    }
+
+    /// Number of currently installed rules.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Draws whether a message is lost to link flakiness.
+    pub(crate) fn flaky_drop(&self, rng: &mut StdRng) -> bool {
+        self.config.drop_probability > 0.0 && rng.gen_bool(self.config.drop_probability.min(1.0))
+    }
+
+    /// Computes the delivery time for a message sent now on `src → dst`.
+    pub(crate) fn delivery_time(&mut self, now: Time, src: NodeId, dst: NodeId, rng: &mut StdRng) -> Time {
+        let jitter = if self.config.jitter == 0 {
+            0
+        } else {
+            rng.gen_range(0..=self.config.jitter)
+        };
+        let mut at = now + self.config.base_latency + jitter;
+        if self.config.fifo {
+            let last = self.link_last.entry((src, dst)).or_insert(0);
+            if at < *last {
+                at = *last;
+            }
+            *last = at;
+        }
+        at
+    }
+
+    /// Renders the connectivity matrix as a string of `1`/`0` rows, used by
+    /// the Figure 1 reproduction. Row `i`, column `j` is `1` when `i → j`
+    /// traffic flows (the diagonal is always `1`).
+    pub fn connectivity_matrix(&self, n: usize) -> String {
+        let mut out = String::new();
+        for i in 0..n {
+            for j in 0..n {
+                let ok = i == j || !self.is_blocked(NodeId(i), NodeId(j));
+                out.push(if ok { '1' } else { '0' });
+                if j + 1 < n {
+                    out.push(' ');
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Builds the set of directed pairs for a bidirectional split of `a` from `b`.
+pub fn bidirectional_pairs(a: &[NodeId], b: &[NodeId]) -> BTreeSet<(NodeId, NodeId)> {
+    let mut pairs = BTreeSet::new();
+    for &x in a {
+        for &y in b {
+            if x != y {
+                pairs.insert((x, y));
+                pairs.insert((y, x));
+            }
+        }
+    }
+    pairs
+}
+
+/// Builds the set of directed pairs dropping only `src → dst` traffic
+/// (simplex partition: replies still flow).
+pub fn simplex_pairs(src: &[NodeId], dst: &[NodeId]) -> BTreeSet<(NodeId, NodeId)> {
+    let mut pairs = BTreeSet::new();
+    for &x in src {
+        for &y in dst {
+            if x != y {
+                pairs.insert((x, y));
+            }
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn ids(v: &[usize]) -> Vec<NodeId> {
+        v.iter().copied().map(NodeId).collect()
+    }
+
+    #[test]
+    fn bidirectional_blocks_both_ways() {
+        let mut net = Net::new(LinkConfig::default());
+        let rule = net.block_pairs(bidirectional_pairs(&ids(&[0]), &ids(&[1, 2])));
+        assert!(net.is_blocked(NodeId(0), NodeId(1)));
+        assert!(net.is_blocked(NodeId(1), NodeId(0)));
+        assert!(net.is_blocked(NodeId(2), NodeId(0)));
+        assert!(!net.is_blocked(NodeId(1), NodeId(2)));
+        net.unblock(rule);
+        assert!(!net.is_blocked(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn simplex_blocks_one_way_only() {
+        let mut net = Net::new(LinkConfig::default());
+        net.block_pairs(simplex_pairs(&ids(&[1]), &ids(&[0])));
+        assert!(net.is_blocked(NodeId(1), NodeId(0)));
+        assert!(!net.is_blocked(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn rules_stack_independently() {
+        let mut net = Net::new(LinkConfig::default());
+        let r1 = net.block_pairs(bidirectional_pairs(&ids(&[0]), &ids(&[1])));
+        let r2 = net.block_pairs(bidirectional_pairs(&ids(&[0]), &ids(&[1, 2])));
+        net.unblock(r2);
+        // r1 still blocks 0↔1 even after the broader rule is healed.
+        assert!(net.is_blocked(NodeId(0), NodeId(1)));
+        assert!(!net.is_blocked(NodeId(0), NodeId(2)));
+        net.unblock(r1);
+        assert_eq!(net.rule_count(), 0);
+    }
+
+    #[test]
+    fn double_heal_is_noop() {
+        let mut net = Net::new(LinkConfig::default());
+        let r = net.block_pairs(bidirectional_pairs(&ids(&[0]), &ids(&[1])));
+        net.unblock(r);
+        net.unblock(r);
+        assert!(!net.is_blocked(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn self_pairs_never_generated() {
+        let pairs = bidirectional_pairs(&ids(&[0, 1]), &ids(&[1, 2]));
+        assert!(!pairs.contains(&(NodeId(1), NodeId(1))));
+    }
+
+    #[test]
+    fn fifo_links_never_reorder() {
+        let mut net = Net::new(LinkConfig {
+            base_latency: 1,
+            jitter: 10,
+            fifo: true,
+            drop_probability: 0.0,
+        });
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut prev = 0;
+        for now in 0..50 {
+            let at = net.delivery_time(now, NodeId(0), NodeId(1), &mut rng);
+            assert!(at >= prev, "FIFO link delivered out of order");
+            prev = at;
+        }
+    }
+
+    #[test]
+    fn non_fifo_links_can_reorder() {
+        let mut net = Net::new(LinkConfig {
+            base_latency: 1,
+            jitter: 10,
+            fifo: false,
+            drop_probability: 0.0,
+        });
+        let mut rng = StdRng::seed_from_u64(3);
+        let times: Vec<Time> = (0..50)
+            .map(|now| net.delivery_time(now, NodeId(0), NodeId(1), &mut rng))
+            .collect();
+        assert!(
+            times.windows(2).any(|w| w[1] < w[0]),
+            "expected at least one reordering with jitter 10"
+        );
+    }
+
+    #[test]
+    fn connectivity_matrix_renders_partition() {
+        let mut net = Net::new(LinkConfig::default());
+        net.block_pairs(simplex_pairs(&ids(&[0]), &ids(&[1])));
+        let m = net.connectivity_matrix(2);
+        assert_eq!(m, "1 0\n1 1\n");
+    }
+}

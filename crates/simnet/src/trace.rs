@@ -1,0 +1,278 @@
+//! Structured execution traces and counters.
+//!
+//! Counters are always maintained (they are cheap and the benches use them).
+//! The full per-event trace is off by default and enabled with
+//! [`crate::WorldBuilder::record_trace`]; the figure reproductions use it to
+//! print manifestation sequences like the paper's Figures 2, 3, 5, and 6.
+
+use crate::{event::Time, net::BlockRuleId, NodeId};
+
+/// Why a message was dropped instead of delivered.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DropReason {
+    /// A block rule covered the directed pair at delivery time.
+    Partition,
+    /// The flaky-link model dropped the message
+    /// ([`crate::LinkConfig::drop_probability`]).
+    Flaky,
+    /// The destination node was crashed at delivery time.
+    DeadDestination,
+    /// The source node crashed between send and delivery.
+    DeadSource,
+}
+
+impl std::fmt::Display for DropReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DropReason::Partition => "partition",
+            DropReason::Flaky => "flaky link",
+            DropReason::DeadDestination => "dead destination",
+            DropReason::DeadSource => "dead source",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One entry of the execution trace.
+#[derive(Clone, Debug)]
+pub enum TraceEvent {
+    /// A message entered the fabric.
+    Sent {
+        at: Time,
+        from: NodeId,
+        to: NodeId,
+        what: String,
+    },
+    /// A message reached its destination handler.
+    Delivered {
+        at: Time,
+        from: NodeId,
+        to: NodeId,
+        what: String,
+    },
+    /// A message was dropped.
+    Dropped {
+        at: Time,
+        from: NodeId,
+        to: NodeId,
+        what: String,
+        reason: DropReason,
+    },
+    /// A timer fired at a live node.
+    TimerFired {
+        at: Time,
+        node: NodeId,
+        tag: u64,
+    },
+    /// A node crashed.
+    Crashed {
+        at: Time,
+        node: NodeId,
+    },
+    /// A node restarted.
+    Restarted {
+        at: Time,
+        node: NodeId,
+    },
+    /// A block rule (partition) was installed.
+    RuleInstalled {
+        at: Time,
+        rule: BlockRuleId,
+        pairs: usize,
+    },
+    /// A block rule was removed (partition healed).
+    RuleRemoved {
+        at: Time,
+        rule: BlockRuleId,
+    },
+    /// A free-form annotation emitted by an application via
+    /// [`crate::Ctx::note`].
+    Note {
+        at: Time,
+        node: NodeId,
+        text: String,
+    },
+}
+
+impl TraceEvent {
+    /// Virtual time of the event.
+    pub fn at(&self) -> Time {
+        match self {
+            TraceEvent::Sent { at, .. }
+            | TraceEvent::Delivered { at, .. }
+            | TraceEvent::Dropped { at, .. }
+            | TraceEvent::TimerFired { at, .. }
+            | TraceEvent::Crashed { at, .. }
+            | TraceEvent::Restarted { at, .. }
+            | TraceEvent::RuleInstalled { at, .. }
+            | TraceEvent::RuleRemoved { at, .. }
+            | TraceEvent::Note { at, .. } => *at,
+        }
+    }
+}
+
+impl std::fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceEvent::Sent { at, from, to, what } => {
+                write!(f, "[{at:>6}] {from} -> {to}  send {what}")
+            }
+            TraceEvent::Delivered { at, from, to, what } => {
+                write!(f, "[{at:>6}] {from} => {to}  deliver {what}")
+            }
+            TraceEvent::Dropped {
+                at,
+                from,
+                to,
+                what,
+                reason,
+            } => write!(f, "[{at:>6}] {from} -x {to}  DROP ({reason}) {what}"),
+            TraceEvent::TimerFired { at, node, tag } => {
+                write!(f, "[{at:>6}] {node}  timer fired (tag {tag})")
+            }
+            TraceEvent::Crashed { at, node } => write!(f, "[{at:>6}] {node}  CRASH"),
+            TraceEvent::Restarted { at, node } => write!(f, "[{at:>6}] {node}  RESTART"),
+            TraceEvent::RuleInstalled { at, rule, pairs } => {
+                write!(f, "[{at:>6}] net  install rule {} ({pairs} pairs)", rule.0)
+            }
+            TraceEvent::RuleRemoved { at, rule } => {
+                write!(f, "[{at:>6}] net  heal rule {}", rule.0)
+            }
+            TraceEvent::Note { at, node, text } => write!(f, "[{at:>6}] {node}  {text}"),
+        }
+    }
+}
+
+/// Aggregate counters, always maintained.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct Counters {
+    pub sent: u64,
+    pub delivered: u64,
+    pub dropped_partition: u64,
+    pub dropped_flaky: u64,
+    pub dropped_dead: u64,
+    pub timers_fired: u64,
+    pub crashes: u64,
+    pub restarts: u64,
+}
+
+/// The execution trace: counters plus (optionally) the full event list.
+#[derive(Debug, Default)]
+pub struct Trace {
+    pub counters: Counters,
+    recording: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    pub(crate) fn new(recording: bool) -> Self {
+        Self {
+            counters: Counters::default(),
+            recording,
+            events: Vec::new(),
+        }
+    }
+
+    /// Whether per-event recording is enabled.
+    pub fn recording(&self) -> bool {
+        self.recording
+    }
+
+    pub(crate) fn push(&mut self, ev: TraceEvent) {
+        if self.recording {
+            self.events.push(ev);
+        }
+    }
+
+    /// Recorded events (empty unless recording was enabled).
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Drops recorded events, keeping counters.
+    pub fn clear_events(&mut self) {
+        self.events.clear();
+    }
+
+    /// Renders the recorded notes and drops only — a compact manifestation
+    /// sequence like the paper's figure captions.
+    pub fn summary(&self) -> String {
+        self.events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    TraceEvent::Note { .. }
+                        | TraceEvent::Crashed { .. }
+                        | TraceEvent::Restarted { .. }
+                        | TraceEvent::RuleInstalled { .. }
+                        | TraceEvent::RuleRemoved { .. }
+                )
+            })
+            .map(|e| format!("{e}\n"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_gate_respected() {
+        let mut t = Trace::new(false);
+        t.push(TraceEvent::Crashed {
+            at: 1,
+            node: NodeId(0),
+        });
+        assert!(t.events().is_empty());
+
+        let mut t = Trace::new(true);
+        t.push(TraceEvent::Crashed {
+            at: 1,
+            node: NodeId(0),
+        });
+        assert_eq!(t.events().len(), 1);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let ev = TraceEvent::Dropped {
+            at: 12,
+            from: NodeId(0),
+            to: NodeId(1),
+            what: "Ping".into(),
+            reason: DropReason::Partition,
+        };
+        assert_eq!(format!("{ev}"), "[    12] n0 -x n1  DROP (partition) Ping");
+    }
+
+    #[test]
+    fn summary_filters_message_noise() {
+        let mut t = Trace::new(true);
+        t.push(TraceEvent::Sent {
+            at: 0,
+            from: NodeId(0),
+            to: NodeId(1),
+            what: "x".into(),
+        });
+        t.push(TraceEvent::Note {
+            at: 3,
+            node: NodeId(1),
+            text: "elected leader".into(),
+        });
+        let s = t.summary();
+        assert!(s.contains("elected leader"));
+        assert!(!s.contains("send"));
+    }
+
+    #[test]
+    fn at_returns_event_time() {
+        let ev = TraceEvent::Note {
+            at: 99,
+            node: NodeId(2),
+            text: "hi".into(),
+        };
+        assert_eq!(ev.at(), 99);
+    }
+}

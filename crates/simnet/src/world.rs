@@ -1,0 +1,764 @@
+//! The simulation world: nodes, the event loop, and the external control API.
+
+use std::collections::BTreeSet;
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::{
+    event::{EventKind, EventQueue, Time, TimerId},
+    net::{BlockRuleId, LinkConfig, Net},
+    trace::{DropReason, Trace, TraceEvent},
+    NodeId,
+};
+
+/// Errors returned by the external control API.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SimError {
+    /// The referenced node id does not exist in this world.
+    NoSuchNode(NodeId),
+    /// The operation requires a live node but the node is crashed.
+    NodeDown(NodeId),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::NoSuchNode(n) => write!(f, "no such node: {n}"),
+            SimError::NodeDown(n) => write!(f, "node is down: {n}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// The behaviour of a simulated node.
+///
+/// A world hosts many nodes of one `Application` type; heterogeneous systems
+/// (servers, clients, auxiliary services) wrap their roles in one enum or
+/// struct. Handlers interact with the world exclusively through [`Ctx`]:
+/// sends and timers are buffered and applied when the handler returns, so
+/// handlers never observe partially applied effects.
+pub trait Application: 'static {
+    /// The message type exchanged between nodes of this application.
+    type Msg: Clone + std::fmt::Debug + 'static;
+
+    /// Called once when the node boots (and again after a restart, unless
+    /// [`Application::on_restart`] is overridden).
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// Called for every delivered message.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg>, from: NodeId, msg: Self::Msg);
+
+    /// Called when a timer set by this node fires.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg>, timer: TimerId, tag: u64);
+
+    /// Called when the node crashes. Implementations clear *volatile* state
+    /// here; anything kept is, by definition, the node's stable storage.
+    fn on_crash(&mut self) {}
+
+    /// Called when the node restarts after a crash. Defaults to
+    /// [`Application::on_start`] (recover from stable storage).
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        self.on_start(ctx);
+    }
+}
+
+/// Buffered effect produced by a handler.
+enum Action<M> {
+    Send { to: NodeId, msg: M },
+    SetTimer { id: TimerId, at: Time, tag: u64 },
+    CancelTimer(TimerId),
+    Note(String),
+}
+
+/// Handler-side view of the world.
+///
+/// All effects are buffered and applied after the handler returns.
+pub struct Ctx<'a, M> {
+    id: NodeId,
+    now: Time,
+    rng: &'a mut StdRng,
+    next_timer: &'a mut u64,
+    actions: Vec<Action<M>>,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// The id of the node this handler runs on.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Current virtual time in milliseconds.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Sends `msg` to `to`. Delivery is subject to the latency model, block
+    /// rules, and the destination being alive at delivery time. Sending to
+    /// self is allowed and goes through the queue like any other message.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.actions.push(Action::Send { to, msg });
+    }
+
+    /// Sends `msg` to every node in `peers` except self.
+    pub fn broadcast(&mut self, peers: &[NodeId], msg: M)
+    where
+        M: Clone,
+    {
+        for &p in peers {
+            if p != self.id {
+                self.send(p, msg.clone());
+            }
+        }
+    }
+
+    /// Schedules a timer to fire after `delay` milliseconds with `tag`.
+    ///
+    /// The timer is implicitly cancelled if the node crashes before it fires.
+    pub fn set_timer(&mut self, delay: Time, tag: u64) -> TimerId {
+        let id = TimerId(*self.next_timer);
+        *self.next_timer += 1;
+        self.actions.push(Action::SetTimer {
+            id,
+            at: self.now + delay,
+            tag,
+        });
+        id
+    }
+
+    /// Cancels a pending timer. Cancelling a fired or unknown timer is a
+    /// no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.actions.push(Action::CancelTimer(id));
+    }
+
+    /// Emits a free-form annotation into the trace (visible in
+    /// [`Trace::summary`]).
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.actions.push(Action::Note(text.into()));
+    }
+
+    /// Deterministic per-world random number generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Draws a uniform value in `[0, n)`; convenience over [`Ctx::rng`].
+    pub fn rand_below(&mut self, n: u64) -> u64 {
+        self.rng.gen_range(0..n)
+    }
+}
+
+struct Slot<A> {
+    app: A,
+    alive: bool,
+    /// Bumped on every crash; stale timers and (optionally) in-flight
+    /// messages carry the epoch at which they were created.
+    epoch: u64,
+}
+
+/// Builder for a [`World`].
+#[derive(Clone, Copy, Debug)]
+pub struct WorldBuilder {
+    seed: u64,
+    link: LinkConfig,
+    record_trace: bool,
+    purge_in_flight_on_crash: bool,
+}
+
+impl WorldBuilder {
+    /// Creates a builder with the given RNG seed and default link model
+    /// (1 ms base latency, 1 ms jitter, FIFO links).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            link: LinkConfig::default(),
+            record_trace: false,
+            purge_in_flight_on_crash: false,
+        }
+    }
+
+    /// Overrides the link latency model.
+    pub fn link(mut self, link: LinkConfig) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Enables full per-event trace recording.
+    pub fn record_trace(mut self, on: bool) -> Self {
+        self.record_trace = on;
+        self
+    }
+
+    /// When enabled, messages still in flight from a node are dropped if the
+    /// node crashes before they are delivered. The default (`false`) models
+    /// a process crash: packets already on the wire still arrive.
+    pub fn purge_in_flight_on_crash(mut self, on: bool) -> Self {
+        self.purge_in_flight_on_crash = on;
+        self
+    }
+
+    /// Builds a world of `n` nodes created by `factory` and runs each node's
+    /// `on_start` handler (in node-id order, at time 0).
+    pub fn build<A: Application>(self, n: usize, mut factory: impl FnMut(NodeId) -> A) -> World<A> {
+        let mut world = World {
+            slots: (0..n)
+                .map(|i| Slot {
+                    app: factory(NodeId(i)),
+                    alive: true,
+                    epoch: 0,
+                })
+                .collect(),
+            queue: EventQueue::new(),
+            next_timer: 0,
+            now: 0,
+            rng: StdRng::seed_from_u64(self.seed),
+            net: Net::new(self.link),
+            cancelled: BTreeSet::new(),
+            trace: Trace::new(self.record_trace),
+            purge_in_flight_on_crash: self.purge_in_flight_on_crash,
+        };
+        for i in 0..n {
+            world.with_handler(NodeId(i), |app, ctx| app.on_start(ctx));
+        }
+        world
+    }
+}
+
+/// A running simulation: the event loop plus the external control API used
+/// by test harnesses (the role the NEAT *test engine* plays in the paper).
+pub struct World<A: Application> {
+    slots: Vec<Slot<A>>,
+    queue: EventQueue<(A::Msg, u64)>,
+    next_timer: u64,
+    now: Time,
+    rng: StdRng,
+    net: Net,
+    cancelled: BTreeSet<TimerId>,
+    trace: Trace,
+    purge_in_flight_on_crash: bool,
+}
+
+impl<A: Application> World<A> {
+    /// Number of nodes in the world.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when the world has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// All node ids, in order.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        (0..self.slots.len()).map(NodeId).collect()
+    }
+
+    /// Current virtual time in milliseconds.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Immutable access to a node's application state, for assertions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not exist.
+    pub fn app(&self, id: NodeId) -> &A {
+        &self.slots[id.0].app
+    }
+
+    /// Mutable access to a node's application state. Prefer [`World::call`]
+    /// when the mutation needs to send messages or set timers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not exist.
+    pub fn app_mut(&mut self, id: NodeId) -> &mut A {
+        &mut self.slots[id.0].app
+    }
+
+    /// Whether the node is currently alive.
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.slots.get(id.0).map(|s| s.alive).unwrap_or(false)
+    }
+
+    /// The network fabric (rule inspection, connectivity matrix).
+    pub fn net(&self) -> &Net {
+        &self.net
+    }
+
+    /// Execution trace and counters.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Mutable trace access (e.g., to clear recorded events between phases).
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.trace
+    }
+
+    /// Installs a block rule over explicit directed pairs. Most callers use
+    /// the partition helpers in the `neat` crate instead.
+    pub fn block_pairs(&mut self, pairs: BTreeSet<(NodeId, NodeId)>) -> BlockRuleId {
+        let n = pairs.len();
+        let id = self.net.block_pairs(pairs);
+        self.trace.push(TraceEvent::RuleInstalled {
+            at: self.now,
+            rule: id,
+            pairs: n,
+        });
+        id
+    }
+
+    /// Removes a block rule (heals that partition).
+    pub fn unblock(&mut self, id: BlockRuleId) {
+        self.net.unblock(id);
+        self.trace.push(TraceEvent::RuleRemoved { at: self.now, rule: id });
+    }
+
+    /// Crashes a node: volatile state is cleared via
+    /// [`Application::on_crash`], pending timers die, and messages addressed
+    /// to it are dropped until it restarts.
+    pub fn crash(&mut self, id: NodeId) -> Result<(), SimError> {
+        let slot = self.slots.get_mut(id.0).ok_or(SimError::NoSuchNode(id))?;
+        if !slot.alive {
+            return Err(SimError::NodeDown(id));
+        }
+        slot.alive = false;
+        slot.epoch += 1;
+        slot.app.on_crash();
+        self.trace.counters.crashes += 1;
+        self.trace.push(TraceEvent::Crashed { at: self.now, node: id });
+        Ok(())
+    }
+
+    /// Restarts a crashed node, running [`Application::on_restart`].
+    pub fn restart(&mut self, id: NodeId) -> Result<(), SimError> {
+        let slot = self.slots.get_mut(id.0).ok_or(SimError::NoSuchNode(id))?;
+        if slot.alive {
+            return Ok(());
+        }
+        slot.alive = true;
+        self.trace.counters.restarts += 1;
+        self.trace.push(TraceEvent::Restarted { at: self.now, node: id });
+        self.with_handler(id, |app, ctx| app.on_restart(ctx));
+        Ok(())
+    }
+
+    /// Invokes `f` on a live node's application with a full [`Ctx`], applying
+    /// any buffered effects afterwards. This is how external harnesses inject
+    /// client operations.
+    pub fn call<R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut A, &mut Ctx<'_, A::Msg>) -> R,
+    ) -> Result<R, SimError> {
+        let slot = self.slots.get(id.0).ok_or(SimError::NoSuchNode(id))?;
+        if !slot.alive {
+            return Err(SimError::NodeDown(id));
+        }
+        Ok(self.with_handler(id, f))
+    }
+
+    /// Runs `f` with a ctx for node `id` and applies resulting actions.
+    fn with_handler<R>(&mut self, id: NodeId, f: impl FnOnce(&mut A, &mut Ctx<'_, A::Msg>) -> R) -> R {
+        let mut ctx = Ctx {
+            id,
+            now: self.now,
+            rng: &mut self.rng,
+            next_timer: &mut self.next_timer,
+            actions: Vec::new(),
+        };
+        let r = f(&mut self.slots[id.0].app, &mut ctx);
+        let actions = ctx.actions;
+        self.apply_actions(id, actions);
+        r
+    }
+
+    fn apply_actions(&mut self, from: NodeId, actions: Vec<Action<A::Msg>>) {
+        let src_epoch = self.slots[from.0].epoch;
+        for a in actions {
+            match a {
+                Action::Send { to, msg } => {
+                    self.trace.counters.sent += 1;
+                    if self.trace.recording() {
+                        self.trace.push(TraceEvent::Sent {
+                            at: self.now,
+                            from,
+                            to,
+                            what: format!("{msg:?}"),
+                        });
+                    }
+                    let at = self.net.delivery_time(self.now, from, to, &mut self.rng);
+                    self.queue.push(
+                        at,
+                        EventKind::Deliver {
+                            from,
+                            to,
+                            msg: (msg, src_epoch),
+                        },
+                    );
+                }
+                Action::SetTimer { id, at, tag } => {
+                    self.queue.push(
+                        at,
+                        EventKind::Timer {
+                            node: from,
+                            id,
+                            tag,
+                            epoch: src_epoch,
+                        },
+                    );
+                }
+                Action::CancelTimer(id) => {
+                    self.cancelled.insert(id);
+                }
+                Action::Note(text) => {
+                    self.trace.push(TraceEvent::Note {
+                        at: self.now,
+                        node: from,
+                        text,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Processes the next pending event, if any. Returns `false` when the
+    /// queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.now, "event queue went backwards");
+        self.now = ev.time;
+        match ev.kind {
+            EventKind::Deliver { from, to, msg: (msg, src_epoch) } => {
+                self.deliver(from, to, msg, src_epoch);
+            }
+            EventKind::Timer { node, id, tag, epoch } => {
+                if self.cancelled.remove(&id) {
+                    return true;
+                }
+                let slot = &self.slots[node.0];
+                if !slot.alive || slot.epoch != epoch {
+                    return true;
+                }
+                self.trace.counters.timers_fired += 1;
+                self.trace.push(TraceEvent::TimerFired {
+                    at: self.now,
+                    node,
+                    tag,
+                });
+                self.with_handler(node, |app, ctx| app.on_timer(ctx, id, tag));
+            }
+        }
+        true
+    }
+
+    fn deliver(&mut self, from: NodeId, to: NodeId, msg: A::Msg, src_epoch: u64) {
+        let drop_reason = if self.net.is_blocked(from, to) {
+            Some(DropReason::Partition)
+        } else if self.net.flaky_drop(&mut self.rng) {
+            Some(DropReason::Flaky)
+        } else if !self.slots[to.0].alive {
+            Some(DropReason::DeadDestination)
+        } else if self.purge_in_flight_on_crash && self.slots[from.0].epoch != src_epoch {
+            Some(DropReason::DeadSource)
+        } else {
+            None
+        };
+        if let Some(reason) = drop_reason {
+            match reason {
+                DropReason::Partition => self.trace.counters.dropped_partition += 1,
+                DropReason::Flaky => self.trace.counters.dropped_flaky += 1,
+                _ => self.trace.counters.dropped_dead += 1,
+            }
+            if self.trace.recording() {
+                self.trace.push(TraceEvent::Dropped {
+                    at: self.now,
+                    from,
+                    to,
+                    what: format!("{msg:?}"),
+                    reason,
+                });
+            }
+            return;
+        }
+        self.trace.counters.delivered += 1;
+        if self.trace.recording() {
+            self.trace.push(TraceEvent::Delivered {
+                at: self.now,
+                from,
+                to,
+                what: format!("{msg:?}"),
+            });
+        }
+        self.with_handler(to, |app, ctx| app.on_message(ctx, from, msg));
+    }
+
+    /// Processes every event scheduled up to and including virtual time `t`,
+    /// then advances the clock to `t`.
+    pub fn run_until(&mut self, t: Time) {
+        while let Some(next) = self.queue.peek_time() {
+            if next > t {
+                break;
+            }
+            self.step();
+        }
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Advances the simulation by `d` milliseconds of virtual time.
+    pub fn run_for(&mut self, d: Time) {
+        let target = self.now + d;
+        self.run_until(target);
+    }
+
+    /// Processes events until the queue drains, up to a safety cap of one
+    /// million events (systems with periodic timers never drain; use
+    /// [`World::run_for`] for those). Returns the number of events processed.
+    pub fn run_until_idle(&mut self) -> u64 {
+        let mut n = 0;
+        while n < 1_000_000 && self.step() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Number of pending events, for tests and benches.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::bidirectional_pairs;
+    use crate::net::LinkConfig;
+
+    /// Echo: replies `x + 1` to every message; counts received values.
+    struct Echo {
+        seen: Vec<u64>,
+        heartbeats: u64,
+        heartbeat_timer: bool,
+    }
+
+    impl Echo {
+        fn new() -> Self {
+            Self {
+                seen: Vec::new(),
+                heartbeats: 0,
+                heartbeat_timer: false,
+            }
+        }
+    }
+
+    impl Application for Echo {
+        type Msg = u64;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+            if self.heartbeat_timer {
+                ctx.set_timer(10, 1);
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, from: NodeId, msg: u64) {
+            self.seen.push(msg);
+            if msg.is_multiple_of(2) {
+                ctx.send(from, msg + 1);
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, u64>, _timer: TimerId, tag: u64) {
+            self.heartbeats += 1;
+            if tag == 1 && self.heartbeats < 5 {
+                ctx.set_timer(10, 1);
+            }
+        }
+    }
+
+    fn two_nodes() -> World<Echo> {
+        WorldBuilder::new(1).build(2, |_| Echo::new())
+    }
+
+    #[test]
+    fn request_reply_round_trip() {
+        let mut w = two_nodes();
+        w.call(NodeId(0), |_, ctx| ctx.send(NodeId(1), 2)).unwrap();
+        w.run_until_idle();
+        assert_eq!(w.app(NodeId(1)).seen, vec![2]);
+        assert_eq!(w.app(NodeId(0)).seen, vec![3]);
+    }
+
+    #[test]
+    fn partition_drops_messages_and_heal_restores() {
+        let mut w = two_nodes();
+        let rule = w.block_pairs(bidirectional_pairs(&[NodeId(0)], &[NodeId(1)]));
+        w.call(NodeId(0), |_, ctx| ctx.send(NodeId(1), 2)).unwrap();
+        w.run_until_idle();
+        assert!(w.app(NodeId(1)).seen.is_empty());
+        assert_eq!(w.trace().counters.dropped_partition, 1);
+
+        w.unblock(rule);
+        w.call(NodeId(0), |_, ctx| ctx.send(NodeId(1), 4)).unwrap();
+        w.run_until_idle();
+        assert_eq!(w.app(NodeId(1)).seen, vec![4]);
+    }
+
+    #[test]
+    fn partition_installed_after_send_still_drops_in_flight() {
+        // The message is in flight when the rule is installed; delivery-time
+        // checking drops it, like a switch rule would.
+        let mut w = two_nodes();
+        w.call(NodeId(0), |_, ctx| ctx.send(NodeId(1), 2)).unwrap();
+        w.block_pairs(bidirectional_pairs(&[NodeId(0)], &[NodeId(1)]));
+        w.run_until_idle();
+        assert!(w.app(NodeId(1)).seen.is_empty());
+    }
+
+    #[test]
+    fn crash_drops_deliveries_and_timers() {
+        let mut w = WorldBuilder::new(1).build(2, |id| Echo {
+            heartbeat_timer: id.0 == 1,
+            ..Echo::new()
+        });
+        w.crash(NodeId(1)).unwrap();
+        w.call(NodeId(0), |_, ctx| ctx.send(NodeId(1), 2)).unwrap();
+        w.run_for(100);
+        assert!(w.app(NodeId(1)).seen.is_empty());
+        assert_eq!(w.app(NodeId(1)).heartbeats, 0, "timers must die with the node");
+        assert_eq!(w.trace().counters.dropped_dead, 1);
+    }
+
+    #[test]
+    fn restart_runs_on_restart_and_revives_delivery() {
+        let mut w = two_nodes();
+        w.crash(NodeId(1)).unwrap();
+        w.run_for(5);
+        w.restart(NodeId(1)).unwrap();
+        w.call(NodeId(0), |_, ctx| ctx.send(NodeId(1), 2)).unwrap();
+        w.run_until_idle();
+        assert_eq!(w.app(NodeId(1)).seen, vec![2]);
+    }
+
+    #[test]
+    fn crash_twice_is_error() {
+        let mut w = two_nodes();
+        w.crash(NodeId(1)).unwrap();
+        assert_eq!(w.crash(NodeId(1)), Err(SimError::NodeDown(NodeId(1))));
+    }
+
+    #[test]
+    fn call_on_dead_node_is_error() {
+        let mut w = two_nodes();
+        w.crash(NodeId(0)).unwrap();
+        assert!(matches!(
+            w.call(NodeId(0), |_, _| ()),
+            Err(SimError::NodeDown(_))
+        ));
+    }
+
+    #[test]
+    fn timers_fire_with_recurrence() {
+        let mut w = WorldBuilder::new(1).build(1, |_| Echo {
+            heartbeat_timer: true,
+            ..Echo::new()
+        });
+        w.run_for(100);
+        assert_eq!(w.app(NodeId(0)).heartbeats, 5);
+    }
+
+    #[test]
+    fn cancel_timer_prevents_fire() {
+        struct Canceller {
+            fired: bool,
+        }
+        impl Application for Canceller {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                let id = ctx.set_timer(10, 0);
+                ctx.cancel_timer(id);
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {}
+            fn on_timer(&mut self, _: &mut Ctx<'_, ()>, _: TimerId, _: u64) {
+                self.fired = true;
+            }
+        }
+        let mut w = WorldBuilder::new(1).build(1, |_| Canceller { fired: false });
+        w.run_for(100);
+        assert!(!w.app(NodeId(0)).fired);
+    }
+
+    #[test]
+    fn run_until_advances_clock_past_last_event() {
+        let mut w = two_nodes();
+        w.run_until(500);
+        assert_eq!(w.now(), 500);
+    }
+
+    #[test]
+    fn deterministic_same_seed_same_counters() {
+        let run = |seed| {
+            let mut w = WorldBuilder::new(seed).build(3, |_| Echo {
+                heartbeat_timer: true,
+                ..Echo::new()
+            });
+            for i in 0..10u64 {
+                let from = NodeId((i % 3) as usize);
+                let to = NodeId(((i + 1) % 3) as usize);
+                w.call(from, |_, ctx| ctx.send(to, i * 2)).unwrap();
+                w.run_for(3);
+            }
+            w.run_for(200);
+            w.trace().counters
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn flaky_links_drop_a_fraction_of_messages() {
+        let mut w = WorldBuilder::new(5)
+            .link(LinkConfig {
+                drop_probability: 0.3,
+                ..LinkConfig::default()
+            })
+            .build(2, |_| Echo::new());
+        for i in 0..200u64 {
+            w.call(NodeId(0), |_, ctx| ctx.send(NodeId(1), i * 2 + 1)).unwrap();
+        }
+        w.run_for(1000);
+        let c = w.trace().counters;
+        assert_eq!(c.sent, 200);
+        assert!(c.dropped_flaky > 20, "{c:?}");
+        assert!(c.delivered > 100, "{c:?}");
+        assert_eq!(c.delivered + c.dropped_flaky, 200, "{c:?}");
+    }
+
+    #[test]
+    fn zero_drop_probability_loses_nothing() {
+        let mut w = WorldBuilder::new(5).build(2, |_| Echo::new());
+        for i in 0..50u64 {
+            w.call(NodeId(0), |_, ctx| ctx.send(NodeId(1), i * 2 + 1)).unwrap();
+        }
+        w.run_for(1000);
+        assert_eq!(w.trace().counters.dropped_flaky, 0);
+        assert_eq!(w.trace().counters.delivered, 50);
+    }
+
+    #[test]
+    fn epoch_isolation_timer_set_before_crash_never_fires_after_restart() {
+        let mut w = WorldBuilder::new(1).build(1, |_| Echo {
+            heartbeat_timer: true,
+            ..Echo::new()
+        });
+        w.run_for(5); // timer pending at t=10
+        w.crash(NodeId(0)).unwrap();
+        w.restart(NodeId(0)).unwrap(); // sets a fresh timer
+        w.run_for(200);
+        // Only the post-restart chain fires (5 beats), not the stale timer.
+        assert_eq!(w.app(NodeId(0)).heartbeats, 5);
+    }
+}

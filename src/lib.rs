@@ -1,0 +1,32 @@
+//! NEAT-rs: a reproduction of *An Analysis of Network-Partitioning
+//! Failures in Cloud Systems* (OSDI'18).
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! - [`simnet`] — the deterministic discrete-event simulator;
+//! - [`neat`] — the NEAT testing framework (partitioner, test engine,
+//!   checkers, explorer);
+//! - system models seeded with the paper's documented flaws:
+//!   [`consensus`] (Raft + the RethinkDB tweak), [`repkv`]
+//!   (MongoDB/VoltDB/Elasticsearch/Redis family), [`coord`]
+//!   (ZooKeeper-like), [`mqueue`] (ActiveMQ/RabbitMQ-like), [`gridstore`]
+//!   (Ignite/Hazelcast/Terracotta-like), [`sched`] (MapReduce/DKron-like),
+//!   and [`dfs`] (HDFS/MooseFS/Ceph-like);
+//! - [`study`] — the 136-failure catalog and the Tables 1-13 statistics
+//!   engine.
+//!
+//! See `examples/` for runnable reproductions of the paper's listings and
+//! figures, and the `bench` crate for the table/figure regenerators.
+
+pub mod campaign;
+
+pub use consensus;
+pub use coord;
+pub use dfs;
+pub use gridstore;
+pub use mqueue;
+pub use neat;
+pub use repkv;
+pub use sched;
+pub use simnet;
+pub use study;

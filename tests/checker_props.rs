@@ -1,0 +1,281 @@
+//! Property tests for the NEAT checkers: soundness (legal executions are
+//! never flagged) and sensitivity (injected corruptions are flagged).
+
+use std::collections::BTreeMap;
+
+use neat_repro::neat::{
+    checkers::{
+        check_counter, check_linearizable_register, check_mutex, check_queue, check_register,
+        QueueExpectation, RegisterSemantics,
+    },
+    History, Op, OpRecord, Outcome,
+};
+use proptest::prelude::*;
+use simnet::NodeId;
+
+/// A reference single-copy register that executes a random op sequence
+/// sequentially and produces a (by construction legal) history.
+fn legal_register_history(ops: &[(u8, u64)]) -> (History, BTreeMap<String, Option<u64>>) {
+    let mut h = History::new();
+    let mut state: Option<u64> = None;
+    let mut t = 0u64;
+    for (i, &(kind, val)) in ops.iter().enumerate() {
+        let start = t;
+        t += 2;
+        let end = t;
+        t += 1;
+        let client = NodeId(i % 2);
+        match kind % 3 {
+            0 => {
+                // Unique values so reads identify their writer.
+                let v = (i as u64) << 16 | (val & 0xffff);
+                state = Some(v);
+                h.push(OpRecord {
+                    client,
+                    op: Op::Write { key: "k".into(), val: v },
+                    outcome: Outcome::Ok(None),
+                    start,
+                    end,
+                });
+            }
+            1 => {
+                h.push(OpRecord {
+                    client,
+                    op: Op::Read { key: "k".into() },
+                    outcome: Outcome::Ok(state),
+                    start,
+                    end,
+                });
+            }
+            _ => {
+                state = None;
+                h.push(OpRecord {
+                    client,
+                    op: Op::Delete { key: "k".into() },
+                    outcome: Outcome::Ok(None),
+                    start,
+                    end,
+                });
+            }
+        }
+    }
+    let mut fin = BTreeMap::new();
+    fin.insert("k".to_string(), state);
+    (h, fin)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sequential single-copy executions never trigger the register checker
+    /// nor the linearizability checker.
+    #[test]
+    fn register_checker_sound(ops in proptest::collection::vec((0u8..3, 0u64..100), 0..14)) {
+        let (h, fin) = legal_register_history(&ops);
+        let v = check_register(&h, RegisterSemantics::Strong, &fin);
+        prop_assert!(v.is_empty(), "{v:?}\n{}", h.render());
+        let lin = check_linearizable_register(&h, "k", None);
+        prop_assert!(lin.is_empty(), "{lin:?}\n{}", h.render());
+    }
+
+    /// Dropping an acknowledged final write from the final state is always
+    /// detected as data loss (or reappearance when the drop exposes a
+    /// deleted value).
+    #[test]
+    fn register_checker_detects_lost_final_write(
+        ops in proptest::collection::vec((0u8..3, 0u64..100), 0..10),
+        val in 0u64..100,
+    ) {
+        let (mut h, _) = legal_register_history(&ops);
+        let t0 = 1000;
+        h.push(OpRecord {
+            client: NodeId(0),
+            op: Op::Write { key: "k".into(), val: 1 << 40 | val },
+            outcome: Outcome::Ok(None),
+            start: t0,
+            end: t0 + 1,
+        });
+        // Final state pretends that write never happened.
+        let mut fin = BTreeMap::new();
+        fin.insert("k".to_string(), None::<u64>);
+        let v = check_register(&h, RegisterSemantics::Strong, &fin);
+        prop_assert!(!v.is_empty(), "loss not detected:\n{}", h.render());
+    }
+
+    /// A legal mutex history (holders never overlap) passes; adding an
+    /// overlapping acquisition is flagged.
+    #[test]
+    fn mutex_checker_sound_and_sensitive(n in 1usize..8) {
+        let mut h = History::new();
+        let mut t = 0;
+        for i in 0..n {
+            h.push(OpRecord {
+                client: NodeId(i % 3),
+                op: Op::Acquire { key: "l".into() },
+                outcome: Outcome::Ok(None),
+                start: t,
+                end: t + 1,
+            });
+            h.push(OpRecord {
+                client: NodeId(i % 3),
+                op: Op::Release { key: "l".into() },
+                outcome: Outcome::Ok(None),
+                start: t + 2,
+                end: t + 3,
+            });
+            t += 10;
+        }
+        prop_assert!(check_mutex(&h, "l").is_empty());
+        // Inject a second holder inside the first hold window.
+        h.push(OpRecord {
+            client: NodeId(7),
+            op: Op::Acquire { key: "l".into() },
+            outcome: Outcome::Ok(None),
+            start: 1,
+            end: 2,
+        });
+        h.push(OpRecord {
+            client: NodeId(7),
+            op: Op::Release { key: "l".into() },
+            outcome: Outcome::Ok(None),
+            start: 2,
+            end: 3,
+        });
+        prop_assert!(!check_mutex(&h, "l").is_empty());
+    }
+
+    /// FIFO queue executions pass; a duplicated consumption is flagged.
+    #[test]
+    fn queue_checker_sound_and_sensitive(vals in proptest::collection::vec(0u64..1000, 1..12)) {
+        let mut uniq = vals.clone();
+        uniq.sort();
+        uniq.dedup();
+        let mut h = History::new();
+        let mut t = 0;
+        for v in &uniq {
+            h.push(OpRecord {
+                client: NodeId(0),
+                op: Op::Enqueue { key: "q".into(), val: *v },
+                outcome: Outcome::Ok(None),
+                start: t,
+                end: t + 1,
+            });
+            t += 2;
+        }
+        let consumed: Vec<u64> = uniq.clone();
+        let exp = [QueueExpectation { key: "q".into(), drained: Some(consumed) }];
+        prop_assert!(check_queue(&h, &exp).is_empty());
+
+        let mut dup = uniq.clone();
+        dup.push(uniq[0]);
+        let exp = [QueueExpectation { key: "q".into(), drained: Some(dup) }];
+        prop_assert!(!check_queue(&h, &exp).is_empty());
+    }
+
+    /// Counter checker: the exact sum passes; off-by-anything fails in the
+    /// right direction.
+    #[test]
+    fn counter_checker_exactness(incrs in proptest::collection::vec(1u64..50, 0..10)) {
+        let mut h = History::new();
+        let mut t = 0;
+        for by in &incrs {
+            h.push(OpRecord {
+                client: NodeId(0),
+                op: Op::Incr { key: "c".into(), by: *by },
+                outcome: Outcome::Ok(None),
+                start: t,
+                end: t + 1,
+            });
+            t += 2;
+        }
+        let sum: u64 = incrs.iter().sum();
+        prop_assert!(check_counter(&h, "c", 0, sum).is_empty());
+        if sum > 0 {
+            prop_assert!(!check_counter(&h, "c", 0, sum - 1).is_empty());
+        }
+        prop_assert!(!check_counter(&h, "c", 0, sum + 1).is_empty());
+    }
+}
+
+/// Builds an arbitrary (possibly broken) single-key history from raw parts.
+fn arbitrary_history(parts: &[(u8, u8, u64, u64)]) -> History {
+    let mut h = History::new();
+    let mut t = 0u64;
+    for &(kind, outcome, a, b) in parts {
+        let start = t;
+        t += 1 + (a % 4);
+        let end = t;
+        t += 1;
+        let op = match kind % 2 {
+            0 => Op::Write {
+                key: "k".into(),
+                val: b % 5,
+            },
+            _ => Op::Read { key: "k".into() },
+        };
+        let outcome = match (kind % 2, outcome % 3) {
+            (0, 0) => Outcome::Ok(None),
+            (0, 1) => Outcome::Fail,
+            (0, _) => Outcome::Timeout,
+            (1, 0) => Outcome::Ok(if b % 6 == 5 { None } else { Some(b % 5) }),
+            (1, _) => Outcome::Timeout,
+            _ => unreachable!(),
+        };
+        h.push(OpRecord {
+            client: NodeId((a % 2) as usize),
+            op,
+            outcome,
+            start,
+            end,
+        });
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Differential soundness: on single-key write/read histories, a dirty
+    /// or stale read reported by the register checker implies the history
+    /// is NOT linearizable. (The register checker is the fast, targeted
+    /// classifier; the linearizability checker is the ground truth.)
+    ///
+    /// Note: values repeat here (unlike NEAT's unique-value histories), so
+    /// the register checker may legally *miss* violations; it must never
+    /// flag a linearizable history.
+    #[test]
+    fn register_read_violations_imply_non_linearizable(
+        parts in proptest::collection::vec((0u8..2, 0u8..3, 0u64..8, 0u64..8), 0..9),
+    ) {
+        let h = arbitrary_history(&parts);
+        // Values are not unique in arbitrary histories, which the dirty-read
+        // rule assumes; restrict the implication to histories where every
+        // written value is distinct.
+        let mut vals: Vec<u64> = h
+            .records()
+            .iter()
+            .filter_map(|r| match &r.op {
+                Op::Write { val, .. } => Some(*val),
+                _ => None,
+            })
+            .collect();
+        let n = vals.len();
+        vals.sort();
+        vals.dedup();
+        if vals.len() != n {
+            return Ok(());
+        }
+        let violations = check_register(&h, RegisterSemantics::Strong, &BTreeMap::new());
+        let read_violations = violations
+            .iter()
+            .any(|v| v.details.contains("read"));
+        if read_violations {
+            let lin = check_linearizable_register(&h, "k", None);
+            prop_assert!(
+                !lin.is_empty(),
+                "register checker flagged a linearizable history:\n{}\n{violations:?}",
+                h.render()
+            );
+        }
+    }
+}
