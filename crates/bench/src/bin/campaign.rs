@@ -2,6 +2,6 @@
 //! and the regenerated Table 15.
 
 fn main() {
-    let results = neat_repro::campaign::run_all_scenarios(7);
+    let results = neat_repro::campaign::run_all_scenarios(8);
     println!("{}", neat_repro::campaign::render(&results));
 }

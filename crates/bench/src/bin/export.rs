@@ -1,10 +1,26 @@
 //! Exports the 136-failure catalog as JSON — the reproduction's analogue
-//! of the paper's released data set. Writes to stdout.
+//! of the paper's released data set. Writes to stdout; exits non-zero if
+//! the stream cannot be written (e.g. a closed pipe mid-document).
 
-fn main() {
+use std::io::Write;
+use std::process::ExitCode;
+
+use study::ToJson;
+
+fn run() -> std::io::Result<()> {
     let catalog = study::catalog();
-    println!(
-        "{}",
-        serde_json::to_string_pretty(&catalog).expect("catalog serializes")
-    );
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    writeln!(out, "{}", study::json::pretty(&catalog.to_json()))?;
+    out.flush()
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("export: failed to write catalog JSON: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

@@ -41,7 +41,7 @@ fn render_appendix() {
     println!();
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     println!("== An Analysis of Network-Partitioning Failures in Cloud Systems ==");
     println!("== Table regeneration: paper vs this reproduction ==\n");
 
@@ -81,13 +81,17 @@ fn main() {
 
     render_appendix();
 
-    let worst = stats::all_tables()
+    let Some(worst) = stats::all_tables()
         .into_iter()
         .map(|t| (t.id, t.max_delta()))
         .max_by(|a, b| a.1.total_cmp(&b.1))
-        .expect("tables exist");
+    else {
+        eprintln!("tables: statistics engine produced no tables");
+        return std::process::ExitCode::FAILURE;
+    };
     println!(
         "largest paper-vs-measured delta across all tables: {:.1} points ({})",
         worst.1, worst.0
     );
+    std::process::ExitCode::SUCCESS
 }

@@ -38,7 +38,7 @@ impl RaftTarget {
     }
 
     fn cluster(&mut self) -> &mut RaftCluster {
-        self.cluster.as_mut().expect("reset() builds the cluster")
+        self.cluster.as_mut().expect("reset() builds the cluster") // lint:allow(unwrap-expect)
     }
 
     fn keys() -> [&'static str; 3] {
@@ -61,7 +61,7 @@ impl TestTarget for RaftTarget {
     }
 
     fn servers(&self) -> Vec<NodeId> {
-        self.cluster.as_ref().expect("built").servers.clone()
+        self.cluster.as_ref().expect("built").servers.clone() // lint:allow(unwrap-expect)
     }
 
     fn leader(&mut self) -> Option<NodeId> {
@@ -84,7 +84,7 @@ impl TestTarget for RaftTarget {
         self.next_val += 1;
         let val = self.next_val;
         let key = Self::keys()[rng.gen_range(0..3)];
-        let cluster = self.cluster.as_mut().expect("built");
+        let cluster = self.cluster.as_mut().expect("built"); // lint:allow(unwrap-expect)
         let target = cluster
             .leader()
             .unwrap_or(cluster.servers[rng.gen_range(0..cluster.servers.len())]);
@@ -105,7 +105,7 @@ impl TestTarget for RaftTarget {
     }
 
     fn finish_and_check(&mut self) -> Vec<Violation> {
-        let cluster = self.cluster.as_mut().expect("built");
+        let cluster = self.cluster.as_mut().expect("built"); // lint:allow(unwrap-expect)
         cluster.neat.heal_all();
         cluster.settle(3000);
         let final_state: BTreeMap<String, Option<u64>> = cluster.final_state(&Self::keys());

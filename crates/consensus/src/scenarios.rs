@@ -49,7 +49,7 @@ pub fn rethinkdb_reconfig_split_brain(
         seed,
         record_trace: record,
     });
-    let d = cluster.wait_for_leader(3000).expect("initial leader");
+    let d = cluster.wait_for_leader(3000).expect("initial leader"); // lint:allow(unwrap-expect)
     let others = rest_of(&cluster.servers, &[d]);
     let (e, c, a, b) = (others[0], others[1], others[2], others[3]);
 

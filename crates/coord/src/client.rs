@@ -184,7 +184,7 @@ impl CoordClient {
                     },
                 )
             })
-            .expect("client alive");
+            .expect("client alive"); // lint:allow(unwrap-expect)
         self.finish(
             neat,
             op_id,
@@ -213,7 +213,7 @@ impl CoordClient {
                     },
                 )
             })
-            .expect("client alive");
+            .expect("client alive"); // lint:allow(unwrap-expect)
         self.finish(neat, op_id, Op::Acquire { key: path.into() }, start, true)
     }
 
@@ -231,7 +231,7 @@ impl CoordClient {
                     },
                 )
             })
-            .expect("client alive");
+            .expect("client alive"); // lint:allow(unwrap-expect)
         self.finish(
             neat,
             op_id,
@@ -254,7 +254,7 @@ impl CoordClient {
                     .session
                     .request(ctx, CoordReq::Delete { path: path.into() })
             })
-            .expect("client alive");
+            .expect("client alive"); // lint:allow(unwrap-expect)
         self.finish(neat, op_id, Op::Delete { key: path.into() }, start, false)
     }
 
@@ -268,7 +268,7 @@ impl CoordClient {
                     .session
                     .request_at(ctx, server, CoordReq::Get { path: path.into() })
             })
-            .expect("client alive");
+            .expect("client alive"); // lint:allow(unwrap-expect)
         self.finish(neat, op_id, Op::Read { key: path.into() }, start, false)
     }
 }

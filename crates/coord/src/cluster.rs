@@ -200,7 +200,7 @@ mod tests {
 
     #[test]
     fn set_and_delete_round_trip() {
-        let mut c = cluster(4);
+        let mut c = cluster(5);
         let l = c.wait_for_leader(2000).unwrap();
         let cl = c.client(0);
         cl.create(&mut c.neat, "/a", 1);

@@ -31,7 +31,7 @@ impl CoordOutcome {
 /// create and resurrects a deleted znode — permanently (Finding 3).
 pub fn txnlog_sync_corruption(flaws: CoordFlaws, seed: u64, record: bool) -> CoordOutcome {
     let mut cluster = CoordCluster::build(3, 2, flaws, seed, record);
-    let l = cluster.wait_for_leader(3000).expect("leader");
+    let l = cluster.wait_for_leader(3000).expect("leader"); // lint:allow(unwrap-expect)
     let others = rest_of(&cluster.servers, &[l]);
     let (a, v) = (others[0], others[1]);
     let cl = cluster.client(0);
@@ -56,7 +56,7 @@ pub fn txnlog_sync_corruption(flaws: CoordFlaws, seed: u64, record: bool) -> Coo
         .neat
         .world
         .call(a, |p, _| p.server_mut().wipe())
-        .expect("A alive");
+        .expect("A alive"); // lint:allow(unwrap-expect)
     cluster.settle(400);
 
     // z9 lands in A's (post-snapshot) in-memory log.
@@ -120,9 +120,9 @@ pub fn sync_interrupted_corruption(flaws: CoordFlaws, seed: u64, record: bool) -
             .neat
             .world
             .call(s, |p, _| p.server_mut().chunk_size = 2)
-            .expect("server alive");
+            .expect("server alive"); // lint:allow(unwrap-expect)
     }
-    let l = cluster.wait_for_leader(3000).expect("leader");
+    let l = cluster.wait_for_leader(3000).expect("leader"); // lint:allow(unwrap-expect)
     let others = rest_of(&cluster.servers, &[l]);
     let v = others[1];
     let cl = cluster.client(0);
@@ -187,7 +187,7 @@ pub fn sync_interrupted_corruption(flaws: CoordFlaws, seed: u64, record: bool) -
 /// The "lock" stays held by a dead client forever.
 pub fn ephemeral_never_deleted(flaws: CoordFlaws, seed: u64, record: bool) -> CoordOutcome {
     let mut cluster = CoordCluster::build(3, 2, flaws, seed, record);
-    let l = cluster.wait_for_leader(3000).expect("leader");
+    let l = cluster.wait_for_leader(3000).expect("leader"); // lint:allow(unwrap-expect)
     let follower = rest_of(&cluster.servers, &[l])[0];
     let cl1 = cluster.client(0);
 

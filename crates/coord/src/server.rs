@@ -226,7 +226,7 @@ impl CoordServer {
         self.zxid = self.zxid.max(txn.zxid);
         self.txnlog.push_back(txn.clone());
         while self.txnlog.len() > self.log_window {
-            let dropped = self.txnlog.pop_front().expect("non-empty");
+            let dropped = self.txnlog.pop_front().expect("non-empty"); // lint:allow(unwrap-expect)
             self.log_base = self.log_base.max(dropped.zxid);
         }
     }
@@ -450,7 +450,7 @@ impl CoordServer {
                 if let Some(p) = self.pending.get_mut(&zxid) {
                     p.acks.insert(from);
                     if p.acks.len() >= p.needed {
-                        let p = self.pending.remove(&zxid).expect("present");
+                        let p = self.pending.remove(&zxid).expect("present"); // lint:allow(unwrap-expect)
                         self.send(
                             ctx,
                             p.client,

@@ -139,13 +139,13 @@ impl HMaster {
                 };
                 if done {
                     let (dead, _, gathered) =
-                        self.pending_split.take().expect("split in progress");
+                        self.pending_split.take().expect("split in progress"); // lint:allow(unwrap-expect)
                     let new_rs = self
                         .region_servers
                         .iter()
                         .copied()
                         .find(|&s| s != dead)
-                        .expect("another region server exists");
+                        .expect("another region server exists"); // lint:allow(unwrap-expect)
                     ctx.note(format!(
                         "master reassigns region to {new_rs}, replaying {} entries",
                         gathered.len()
@@ -181,7 +181,7 @@ impl HMaster {
                         .iter()
                         .copied()
                         .find(|&s| s != rs)
-                        .expect("another region server exists");
+                        .expect("another region server exists"); // lint:allow(unwrap-expect)
                     self.serving = new_rs;
                     ctx.send(new_rs, HbMsg::AssignRegion { entries: Vec::new() });
                 } else {
@@ -436,7 +436,7 @@ impl HbCluster {
                 }
                 _ => unreachable!(),
             })
-            .expect("client alive");
+            .expect("client alive"); // lint:allow(unwrap-expect)
         let client = self.client;
         let res = self.neat.run_op(
             |_| Ok(()),

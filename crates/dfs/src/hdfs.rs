@@ -92,7 +92,7 @@ impl NameNode {
         self.racks
             .iter()
             .position(|r| r.contains(&dn))
-            .expect("every DataNode is racked")
+            .expect("every DataNode is racked") // lint:allow(unwrap-expect)
     }
 
     fn alive(&self, dn: NodeId, now: Time) -> bool {
@@ -325,7 +325,7 @@ impl HdfsCluster {
                 }
                 _ => unreachable!(),
             })
-            .expect("client alive")
+            .expect("client alive") // lint:allow(unwrap-expect)
     }
 
     /// One pipeline-write attempt: allocate, then write. Returns the
@@ -346,7 +346,7 @@ impl HdfsCluster {
                     },
                 )
             })
-            .expect("client alive");
+            .expect("client alive"); // lint:allow(unwrap-expect)
         let client = self.client;
         let dn = self
             .neat
@@ -365,7 +365,7 @@ impl HdfsCluster {
             .call(self.client, |_, ctx| {
                 ctx.send(dn, HdfsMsg::WriteBlock { op_id: op2, block })
             })
-            .expect("client alive");
+            .expect("client alive"); // lint:allow(unwrap-expect)
         let saved = self.neat.op_timeout;
         self.neat.op_timeout = 300;
         let acked = self.neat.run_op(
@@ -426,7 +426,7 @@ impl HdfsCluster {
                         },
                     )
                 })
-                .expect("client alive");
+                .expect("client alive"); // lint:allow(unwrap-expect)
             let client = self.client;
             let Some(dn) = self
                 .neat
@@ -447,7 +447,7 @@ impl HdfsCluster {
                 .call(self.client, |_, ctx| {
                     ctx.send(dn, HdfsMsg::ReadBlock { op_id: op2, block })
                 })
-                .expect("client alive");
+                .expect("client alive"); // lint:allow(unwrap-expect)
             let saved = self.neat.op_timeout;
             self.neat.op_timeout = 300;
             let got = self.neat.run_op(
@@ -476,7 +476,7 @@ impl HdfsCluster {
                         state.blocks.push(block);
                     }
                 })
-                .expect("dn alive");
+                .expect("dn alive"); // lint:allow(unwrap-expect)
         }
         if let HdfsProc::Nn(nn) = self.neat.world.app_mut(self.nn) {
             nn.blocks.insert(block, dns.to_vec());

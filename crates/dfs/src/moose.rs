@@ -230,7 +230,7 @@ impl MooseCluster {
                 }
                 _ => unreachable!(),
             })
-            .expect("client alive")
+            .expect("client alive") // lint:allow(unwrap-expect)
     }
 
     fn wait<R: 'static>(
@@ -272,7 +272,7 @@ impl MooseCluster {
                         },
                     )
                 })
-                .expect("client alive");
+                .expect("client alive"); // lint:allow(unwrap-expect)
             let Some(cs) = self.wait(|c| c.creates.remove(&op), 500).flatten() else {
                 continue;
             };
@@ -282,7 +282,7 @@ impl MooseCluster {
                 .call(self.client, |_, ctx| {
                     ctx.send(cs, MooseMsg::WriteChunk { op_id: op2, file })
                 })
-                .expect("client alive");
+                .expect("client alive"); // lint:allow(unwrap-expect)
             if self.wait(|c| c.write_acks.remove(&op2), 400).is_some() {
                 let op3 = self.next_op();
                 self.neat
@@ -290,7 +290,7 @@ impl MooseCluster {
                     .call(self.client, |_, ctx| {
                         ctx.send(master, MooseMsg::Confirm { op_id: op3, file })
                     })
-                    .expect("client alive");
+                    .expect("client alive"); // lint:allow(unwrap-expect)
                 let _ = self.wait(|c| c.confirms.remove(&op3), 400);
                 return (attempt, true);
             }
@@ -309,7 +309,7 @@ impl MooseCluster {
             .call(self.client, |_, ctx| {
                 ctx.send(master, MooseMsg::Stat { op_id: op, file })
             })
-            .expect("client alive");
+            .expect("client alive"); // lint:allow(unwrap-expect)
         let Some((exists, cs)) = self.wait(|c| c.stats.remove(&op), 500) else {
             return (false, false);
         };
@@ -322,7 +322,7 @@ impl MooseCluster {
             .call(self.client, |_, ctx| {
                 ctx.send(cs, MooseMsg::ReadChunk { op_id: op2, file })
             })
-            .expect("client alive");
+            .expect("client alive"); // lint:allow(unwrap-expect)
         let found = self
             .wait(|c| c.reads.remove(&op2), 400)
             .unwrap_or(false);

@@ -151,7 +151,7 @@ impl Osd {
                     None => false,
                 };
                 if done {
-                    let p = self.pending.remove(&seq).expect("present");
+                    let p = self.pending.remove(&seq).expect("present"); // lint:allow(unwrap-expect)
                     ctx.send(
                         p.client,
                         ObjMsg::Resp {
@@ -292,7 +292,7 @@ impl ObjCluster {
                 }
                 _ => unreachable!(),
             })
-            .expect("client alive")
+            .expect("client alive") // lint:allow(unwrap-expect)
     }
 
     fn wait(&mut self, client: NodeId, op_id: u64) -> Option<(bool, Option<u64>)> {

@@ -160,7 +160,7 @@ impl GridClient {
                 ctx.send(target, GridMsg::Req { op_id, op: wire.clone() });
                 op_id
             })
-            .expect("client alive");
+            .expect("client alive"); // lint:allow(unwrap-expect)
         let node = self.node;
         let res = neat.run_op(|_| Ok(()), |w| w.app_mut(node).client_mut().take(op_id));
         let outcome = match res {

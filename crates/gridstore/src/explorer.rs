@@ -35,7 +35,7 @@ impl GridTarget {
     }
 
     fn cluster(&mut self) -> &mut GridCluster {
-        self.cluster.as_mut().expect("reset() builds the cluster")
+        self.cluster.as_mut().expect("reset() builds the cluster") // lint:allow(unwrap-expect)
     }
 
     /// The current deployment, for post-mortem inspection.
@@ -63,13 +63,13 @@ impl TestTarget for GridTarget {
     }
 
     fn servers(&self) -> Vec<NodeId> {
-        self.cluster.as_ref().expect("built").servers.clone()
+        self.cluster.as_ref().expect("built").servers.clone() // lint:allow(unwrap-expect)
     }
 
     fn leader(&mut self) -> Option<NodeId> {
         // The structure primary is the lowest live member; surface it so
         // the guided strategy can isolate it.
-        let cluster = self.cluster.as_ref().expect("built");
+        let cluster = self.cluster.as_ref().expect("built"); // lint:allow(unwrap-expect)
         let s = cluster.servers[0];
         Some(cluster.neat.world.app(s).server().primary())
     }
@@ -100,7 +100,7 @@ impl TestTarget for GridTarget {
     fn apply_event(&mut self, ev: EventChoice, rng: &mut StdRng) {
         self.next_val += 1;
         let val = self.next_val;
-        let cluster = self.cluster.as_mut().expect("built");
+        let cluster = self.cluster.as_mut().expect("built"); // lint:allow(unwrap-expect)
         let client = Self::client(cluster, rng);
         match ev {
             EventChoice::Write => {
@@ -126,7 +126,7 @@ impl TestTarget for GridTarget {
     }
 
     fn finish_and_check(&mut self) -> Vec<Violation> {
-        let cluster = self.cluster.as_mut().expect("built");
+        let cluster = self.cluster.as_mut().expect("built"); // lint:allow(unwrap-expect)
         cluster.neat.heal_all();
         cluster.settle(2500);
         let mut violations = check_semaphore(cluster.neat.history(), "sem", 1);

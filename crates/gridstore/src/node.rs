@@ -464,7 +464,7 @@ impl GridNode {
                     _ => false,
                 };
                 if done {
-                    let p = self.pending.take().expect("checked");
+                    let p = self.pending.take().expect("checked"); // lint:allow(unwrap-expect)
                     self.commit_count += 1;
                     self.answer(ctx, &p.reply, p.resp);
                 }

@@ -1,0 +1,29 @@
+//! Determinism guard for the workspace.
+//!
+//! The whole reproduction rests on one property: *same seed ⇒ same
+//! execution*. Every scenario, every checker verdict, every regenerated
+//! table must be a pure function of the seed, or the campaign results and
+//! the trace-divergence auditor are meaningless. This crate enforces that
+//! property twice over:
+//!
+//! - **Statically** ([`scan`]): a token-level pass over every `.rs` file
+//!   rejecting the classic nondeterminism sources — hash-order iteration
+//!   in the protocol/simulation crates, wall clocks, OS entropy, OS
+//!   threads, `unsafe`, and panicking `.unwrap()`/`.expect()` in
+//!   non-test simulator code. `// lint:allow(<rule>)` is the escape
+//!   hatch for audited exceptions.
+//! - **Dynamically** (`cargo run -p lint -- --audit`): every scenario in
+//!   [`neat_repro::campaign::registry`] is run twice with the same seed
+//!   and the rendered execution fingerprints are compared byte for byte
+//!   via [`neat::audit`]. Any divergence is a determinism bug the static
+//!   pass missed.
+//!
+//! The same rules are mirrored into the toolchain via `clippy.toml`
+//! (`disallowed-types` / `disallowed-methods`) and `[workspace.lints]`,
+//! so `cargo clippy` reports them too; this pass exists so the gate does
+//! not depend on clippy being present and so the rules run as an
+//! ordinary tier-1 integration test (`tests/lint_gate.rs`).
+
+pub mod scan;
+
+pub use scan::{findings_to_json, scan_source, scan_workspace, Finding, Rule};

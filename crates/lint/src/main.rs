@@ -1,0 +1,146 @@
+//! CLI for the determinism guard.
+//!
+//! ```text
+//! cargo run -p lint                 # static pass over the workspace
+//! cargo run -p lint -- --json      # same, machine-readable findings
+//! cargo run -p lint -- --audit     # dynamic double-run trace audit
+//! cargo run -p lint -- --audit --seed 7
+//! cargo run -p lint -- --root /path/to/tree
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations or trace divergence found,
+//! `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Opts {
+    json: bool,
+    audit: bool,
+    root: Option<PathBuf>,
+    seed: u64,
+}
+
+fn usage() -> &'static str {
+    "usage: lint [--json] [--root <dir>] [--audit] [--seed <n>]\n\
+     \n\
+     Default mode scans every .rs file under the workspace for the\n\
+     determinism rules (hash-iteration, wall-clock, os-entropy,\n\
+     thread-spawn, unsafe-code, unwrap-expect). --audit instead runs\n\
+     every registered scenario twice with the same seed and compares\n\
+     the execution fingerprints."
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        json: false,
+        audit: false,
+        root: None,
+        seed: 42,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--audit" => opts.audit = true,
+            "--root" => {
+                let dir = args.next().ok_or("--root requires a directory")?;
+                opts.root = Some(PathBuf::from(dir));
+            }
+            "--seed" => {
+                let n = args.next().ok_or("--seed requires a number")?;
+                opts.seed = n.parse().map_err(|_| format!("invalid seed `{n}`"))?;
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn workspace_root(explicit: Option<PathBuf>) -> PathBuf {
+    explicit.unwrap_or_else(|| {
+        // crates/lint -> crates -> workspace root.
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(|p| p.parent())
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."))
+    })
+}
+
+fn run_scan(opts: &Opts) -> ExitCode {
+    let root = workspace_root(opts.root.clone());
+    let findings = match lint::scan_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if opts.json {
+        println!("{}", lint::findings_to_json(&findings));
+    } else if findings.is_empty() {
+        println!("lint: workspace clean under all determinism rules");
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        eprintln!("lint: {} violation(s)", findings.len());
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn run_audit(opts: &Opts) -> ExitCode {
+    let seed = opts.seed;
+    let mut arms = 0usize;
+    let mut failures = 0usize;
+    for spec in neat_repro::campaign::registry() {
+        let mut audit_arm = |arm: &str, run: &neat_repro::campaign::Runner| {
+            arms += 1;
+            let name = format!("{}/{arm}", spec.name);
+            match neat::audit::audit_double_run(&name, seed, |s| run(s, true).fingerprint) {
+                Ok(hash) => println!("audit {name}: ok {hash:016x}"),
+                Err(d) => {
+                    eprintln!("audit FAILED: {d}");
+                    failures += 1;
+                }
+            }
+        };
+        audit_arm("flawed", &spec.flawed);
+        if let Some(fixed) = &spec.fixed {
+            audit_arm("fixed", fixed);
+        }
+    }
+    println!(
+        "audit: {arms} scenario arm(s) double-run with seed {seed}, {failures} divergence(s)"
+    );
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("lint: {msg}\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    if opts.audit {
+        run_audit(&opts)
+    } else {
+        run_scan(&opts)
+    }
+}

@@ -1,0 +1,694 @@
+//! The static pass: a token-level scanner for nondeterminism sources.
+//!
+//! The scanner is deliberately not a full parser. It strips comments and
+//! string/char literals with a small state machine (so banned names inside
+//! docs or test fixtures never fire), tracks `#[cfg(test)]` regions by
+//! brace matching, and then matches identifiers per line. That is enough
+//! to enforce the determinism rules of DESIGN.md with zero dependencies,
+//! and false positives have a first-class escape hatch: a
+//! `// lint:allow(<rule>, …)` comment suppresses the named rules on its
+//! own line and on the line below it.
+
+use std::fmt;
+use std::path::Path;
+
+/// The determinism rules the pass enforces.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Rule {
+    /// `HashMap`/`HashSet` in the protocol/simulation crates: iteration
+    /// order is seed-independent, so any iteration leaks nondeterminism
+    /// into traces. Use `BTreeMap`/`BTreeSet` or sort first.
+    HashIteration,
+    /// `Instant`/`SystemTime`: wall-clock time differs between runs.
+    /// Simulated code must use `simnet` virtual time.
+    WallClock,
+    /// `thread_rng`, `OsRng`, `from_entropy`, `getrandom`, `rand::random`:
+    /// OS entropy makes runs unrepeatable. Seed a `StdRng` explicitly.
+    OsEntropy,
+    /// `thread::spawn`: OS scheduling is nondeterministic; the simulator
+    /// is single-threaded by design.
+    ThreadSpawn,
+    /// `unsafe` anywhere in the workspace.
+    UnsafeCode,
+    /// `.unwrap()`/`.expect()` in non-test code of the simulation crates.
+    /// Either propagate a `Result` or annotate a genuine invariant.
+    UnwrapExpect,
+}
+
+impl Rule {
+    pub const ALL: [Rule; 6] = [
+        Rule::HashIteration,
+        Rule::WallClock,
+        Rule::OsEntropy,
+        Rule::ThreadSpawn,
+        Rule::UnsafeCode,
+        Rule::UnwrapExpect,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::HashIteration => "hash-iteration",
+            Rule::WallClock => "wall-clock",
+            Rule::OsEntropy => "os-entropy",
+            Rule::ThreadSpawn => "thread-spawn",
+            Rule::UnsafeCode => "unsafe-code",
+            Rule::UnwrapExpect => "unwrap-expect",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.name() == name)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One rule violation at a source location.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Finding {
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    pub rule: Rule,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}: {}", self.path, self.line, self.rule, self.message)
+    }
+}
+
+/// The crates whose `src/` trees carry the strict rules (`hash-iteration`
+/// and `unwrap-expect`): everything that executes inside the simulation.
+const STRICT_CRATES: [&str; 9] = [
+    "simnet",
+    "neat",
+    "consensus",
+    "repkv",
+    "coord",
+    "mqueue",
+    "gridstore",
+    "sched",
+    "dfs",
+];
+
+#[derive(Clone, Copy, Debug)]
+struct FileClass {
+    /// Inside a simulation crate (or the root campaign `src/`).
+    strict: bool,
+    /// Under a `tests/`, `benches/`, or `examples/` directory.
+    test_like: bool,
+}
+
+fn classify(rel_path: &str) -> FileClass {
+    let strict = rel_path.starts_with("src/")
+        || STRICT_CRATES
+            .iter()
+            .any(|c| rel_path.strip_prefix("crates/").and_then(|r| r.strip_prefix(c)).is_some_and(|r| r.starts_with('/')));
+    let test_like = rel_path
+        .split('/')
+        .any(|seg| seg == "tests" || seg == "benches" || seg == "examples");
+    FileClass { strict, test_like }
+}
+
+/// One source line after comment/literal stripping.
+struct CleanLine {
+    text: String,
+    /// Any part of the line sits inside a `#[cfg(test)]` brace region.
+    in_test: bool,
+}
+
+struct Cleaned {
+    lines: Vec<CleanLine>,
+    /// `(line, rule)` pairs from `lint:allow(...)` comment directives.
+    allows: Vec<(usize, Rule)>,
+}
+
+fn collect_allows(comment: &str, line: usize, allows: &mut Vec<(usize, Rule)>) {
+    let mut rest = comment;
+    while let Some(pos) = rest.find("lint:allow(") {
+        rest = &rest[pos + "lint:allow(".len()..];
+        let Some(end) = rest.find(')') else { return };
+        for name in rest[..end].split(',') {
+            if let Some(rule) = Rule::from_name(name.trim()) {
+                allows.push((line, rule));
+            }
+        }
+        rest = &rest[end..];
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Strips comments and string/char literals, recording `lint:allow`
+/// directives and which lines sit inside `#[cfg(test)]` regions.
+fn clean(source: &str) -> Cleaned {
+    enum St {
+        Code,
+        LineComment,
+        BlockComment,
+        Str,
+        RawStr,
+    }
+
+    let chars: Vec<char> = source.chars().collect();
+    let mut st = St::Code;
+    let mut block_depth = 0usize;
+    let mut raw_hashes = 0usize;
+
+    let mut lines = Vec::new();
+    let mut allows = Vec::new();
+    let mut cur = String::new();
+    let mut comment_buf = String::new();
+    let mut line_no = 1usize;
+
+    // `#[cfg(test)]` handling: the attribute arms `pending_test`; the next
+    // opened brace block (the `mod tests { … }` or annotated fn body) is a
+    // test region. Statements (`;`) between attribute and brace disarm it.
+    let mut pending_test = false;
+    let mut brace_stack: Vec<bool> = Vec::new();
+    let mut test_depth = 0usize;
+    let mut line_in_test = false;
+
+    let mut prev_code: Option<char> = None;
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            match st {
+                St::LineComment => {
+                    collect_allows(&comment_buf, line_no, &mut allows);
+                    comment_buf.clear();
+                    st = St::Code;
+                }
+                St::BlockComment => {
+                    collect_allows(&comment_buf, line_no, &mut allows);
+                    comment_buf.clear();
+                }
+                _ => {}
+            }
+            lines.push(CleanLine {
+                text: std::mem::take(&mut cur),
+                in_test: line_in_test || test_depth > 0,
+            });
+            line_in_test = test_depth > 0;
+            line_no += 1;
+            i += 1;
+            continue;
+        }
+        match st {
+            St::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    st = St::LineComment;
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    st = St::BlockComment;
+                    block_depth = 1;
+                    i += 2;
+                    continue;
+                }
+                // Raw (byte) string start: r"…", r#"…"#, br"…", … — only
+                // when `r`/`b` is not the tail of a longer identifier.
+                if (c == 'r' || c == 'b') && !prev_code.is_some_and(is_ident_char) {
+                    let mut k = i;
+                    if chars.get(k) == Some(&'b') {
+                        k += 1;
+                    }
+                    if chars.get(k) == Some(&'r') {
+                        k += 1;
+                        let mut hashes = 0usize;
+                        while chars.get(k) == Some(&'#') {
+                            hashes += 1;
+                            k += 1;
+                        }
+                        if chars.get(k) == Some(&'"') {
+                            st = St::RawStr;
+                            raw_hashes = hashes;
+                            prev_code = None;
+                            i = k + 1;
+                            continue;
+                        }
+                    }
+                }
+                if c == '"' {
+                    st = St::Str;
+                    prev_code = None;
+                    i += 1;
+                    continue;
+                }
+                if c == '\'' {
+                    // Char literal vs lifetime: escapes and `'x'` are
+                    // literals; anything else is a lifetime tick.
+                    if chars.get(i + 1) == Some(&'\\') {
+                        let mut j = i + 2;
+                        while j < chars.len() {
+                            if chars[j] == '\\' {
+                                j += 2;
+                            } else if chars[j] == '\'' {
+                                j += 1;
+                                break;
+                            } else {
+                                j += 1;
+                            }
+                        }
+                        i = j;
+                    } else if chars.get(i + 2) == Some(&'\'') {
+                        i += 3;
+                    } else {
+                        i += 1;
+                    }
+                    prev_code = None;
+                    continue;
+                }
+                cur.push(c);
+                prev_code = Some(c);
+                match c {
+                    ']' if cur.ends_with("#[cfg(test)]") => pending_test = true,
+                    ';' => pending_test = false,
+                    '{' => {
+                        brace_stack.push(pending_test);
+                        if pending_test {
+                            test_depth += 1;
+                            line_in_test = true;
+                        }
+                        pending_test = false;
+                    }
+                    '}' => {
+                        if brace_stack.pop() == Some(true) {
+                            test_depth -= 1;
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            St::LineComment => {
+                comment_buf.push(c);
+                i += 1;
+            }
+            St::BlockComment => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    block_depth += 1;
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    block_depth -= 1;
+                    i += 2;
+                    if block_depth == 0 {
+                        collect_allows(&comment_buf, line_no, &mut allows);
+                        comment_buf.clear();
+                        st = St::Code;
+                    }
+                } else {
+                    comment_buf.push(c);
+                    i += 1;
+                }
+            }
+            St::Str => {
+                if c == '\\' {
+                    // Skip the escaped char — except a line continuation's
+                    // newline, which the top-of-loop handler must still see
+                    // to keep line numbers true.
+                    if chars.get(i + 1) == Some(&'\n') {
+                        i += 1;
+                    } else {
+                        i += 2;
+                    }
+                } else if c == '"' {
+                    st = St::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            St::RawStr => {
+                if c == '"' {
+                    let closed = (1..=raw_hashes).all(|k| chars.get(i + k) == Some(&'#'));
+                    if closed {
+                        st = St::Code;
+                        i += raw_hashes + 1;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+        }
+    }
+    if matches!(st, St::LineComment | St::BlockComment) {
+        collect_allows(&comment_buf, line_no, &mut allows);
+    }
+    if !cur.is_empty() {
+        lines.push(CleanLine {
+            text: cur,
+            in_test: line_in_test || test_depth > 0,
+        });
+    }
+    Cleaned { lines, allows }
+}
+
+/// Identifiers banned everywhere under the workspace.
+fn global_ident_rule(ident: &str) -> Option<(Rule, &'static str)> {
+    match ident {
+        "Instant" | "SystemTime" => Some((
+            Rule::WallClock,
+            "wall-clock time differs between runs; use simnet virtual time",
+        )),
+        "thread_rng" | "OsRng" | "from_entropy" | "getrandom" => Some((
+            Rule::OsEntropy,
+            "OS entropy makes runs unrepeatable; seed a StdRng explicitly",
+        )),
+        "unsafe" => Some((Rule::UnsafeCode, "unsafe code is forbidden workspace-wide")),
+        _ => None,
+    }
+}
+
+/// Scans one already-loaded source file. `rel_path` decides which rules
+/// apply (see [`classify`]) and is echoed into the findings.
+pub fn scan_source(rel_path: &str, source: &str) -> Vec<Finding> {
+    let class = classify(rel_path);
+    let cleaned = clean(source);
+    let mut findings: Vec<Finding> = Vec::new();
+
+    let allowed = |line: usize, rule: Rule| {
+        cleaned
+            .allows
+            .iter()
+            .any(|&(l, r)| r == rule && (l == line || l + 1 == line))
+    };
+    let mut push = |line: usize, rule: Rule, message: String| {
+        if allowed(line, rule) {
+            return;
+        }
+        if findings.iter().any(|f| f.line == line && f.rule == rule) {
+            return;
+        }
+        findings.push(Finding {
+            path: rel_path.to_string(),
+            line,
+            rule,
+            message,
+        });
+    };
+
+    for (idx, cl) in cleaned.lines.iter().enumerate() {
+        let line = idx + 1;
+        let text = cl.text.as_str();
+
+        if text.contains("thread::spawn") {
+            push(
+                line,
+                Rule::ThreadSpawn,
+                "OS threads introduce scheduling nondeterminism; the simulator is single-threaded"
+                    .to_string(),
+            );
+        }
+        if text.contains("rand::random") {
+            push(
+                line,
+                Rule::OsEntropy,
+                "`rand::random` draws from OS entropy; seed a StdRng explicitly".to_string(),
+            );
+        }
+
+        let mut chars = text.char_indices().peekable();
+        let mut prev_non_ws: Option<char> = None;
+        while let Some((start, c)) = chars.next() {
+            if !is_ident_char(c) || c.is_ascii_digit() {
+                if !c.is_whitespace() {
+                    prev_non_ws = Some(c);
+                }
+                continue;
+            }
+            let mut end = start + c.len_utf8();
+            while let Some(&(j, cj)) = chars.peek() {
+                if is_ident_char(cj) {
+                    end = j + cj.len_utf8();
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            let ident = &text[start..end];
+            if let Some((rule, msg)) = global_ident_rule(ident) {
+                push(line, rule, format!("`{ident}`: {msg}"));
+            }
+            if class.strict && (ident == "HashMap" || ident == "HashSet") {
+                push(
+                    line,
+                    Rule::HashIteration,
+                    format!(
+                        "`{ident}` iteration order is nondeterministic in simulation code; \
+                         use BTreeMap/BTreeSet or sort before iterating"
+                    ),
+                );
+            }
+            if class.strict
+                && !class.test_like
+                && !cl.in_test
+                && (ident == "unwrap" || ident == "expect")
+                && prev_non_ws == Some('.')
+            {
+                push(
+                    line,
+                    Rule::UnwrapExpect,
+                    format!(
+                        "`.{ident}()` in non-test simulation code; propagate a Result or \
+                         annotate a genuine invariant with lint:allow(unwrap-expect)"
+                    ),
+                );
+            }
+            prev_non_ws = Some(c);
+        }
+    }
+    findings
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Scans every `.rs` file under `root` (skipping `target/` and dot
+/// directories), in sorted path order for deterministic output.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut findings = Vec::new();
+    for rel in files {
+        let source = std::fs::read_to_string(root.join(&rel))?;
+        findings.extend(scan_source(&rel, &source));
+    }
+    Ok(findings)
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders findings as a JSON array for machine consumption (`--json`).
+pub fn findings_to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {\"path\":");
+        push_json_str(&mut out, &f.path);
+        out.push_str(&format!(",\"line\":{},\"rule\":", f.line));
+        push_json_str(&mut out, f.rule.name());
+        out.push_str(",\"message\":");
+        push_json_str(&mut out, &f.message);
+        out.push('}');
+    }
+    if !findings.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STRICT_FILE: &str = "crates/simnet/src/fabric.rs";
+    const LOOSE_FILE: &str = "crates/study/src/types.rs";
+
+    fn rules(findings: &[Finding]) -> Vec<Rule> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn wall_clock_and_entropy_fire_everywhere() {
+        let src = "fn f() { let t = std::time::Instant::now(); let r = rand::thread_rng(); }\n";
+        let fs = scan_source(LOOSE_FILE, src);
+        assert_eq!(rules(&fs), vec![Rule::WallClock, Rule::OsEntropy]);
+        assert_eq!(fs[0].line, 1);
+    }
+
+    #[test]
+    fn hash_types_fire_only_in_strict_crates() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(rules(&scan_source(STRICT_FILE, src)), vec![Rule::HashIteration]);
+        assert!(scan_source(LOOSE_FILE, src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_fires_only_in_strict_non_test_code() {
+        let src = "fn f() { x.unwrap(); }\nfn g() { y.expect(\"msg\"); }\n";
+        assert_eq!(
+            rules(&scan_source(STRICT_FILE, src)),
+            vec![Rule::UnwrapExpect, Rule::UnwrapExpect]
+        );
+        assert!(scan_source(LOOSE_FILE, src).is_empty());
+        assert!(scan_source("crates/simnet/tests/props.rs", src).is_empty());
+    }
+
+    #[test]
+    fn repeated_hits_on_one_line_dedup_to_one_finding() {
+        let src = "fn f() { x.unwrap(); y.expect(\"msg\"); }\n";
+        assert_eq!(rules(&scan_source(STRICT_FILE, src)), vec![Rule::UnwrapExpect]);
+    }
+
+    #[test]
+    fn expect_err_is_not_expect() {
+        let src = "fn f() { y.expect_err(\"must fail\"); }\n";
+        assert!(scan_source(STRICT_FILE, src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_regions_are_exempt_from_unwrap() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { x.unwrap(); }\n}\nfn h() { y.unwrap(); }\n";
+        let fs = scan_source(STRICT_FILE, src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].line, 6);
+    }
+
+    #[test]
+    fn string_line_continuations_keep_line_numbers_true() {
+        let src = "fn f() { let s = \"a \\\n        b\"; }\nfn g() { x.unwrap(); }\n";
+        let fs = scan_source(STRICT_FILE, src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].line, 3);
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_fire() {
+        let src = concat!(
+            "// HashMap Instant thread_rng\n",
+            "/* unsafe SystemTime */\n",
+            "fn f() { let s = \"HashMap unsafe\"; let r = r#\"Instant \"quoted\"\"#; }\n",
+        );
+        assert!(scan_source(STRICT_FILE, src).is_empty());
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_are_skipped() {
+        let src = "fn f<'a>(x: &'a str) -> char { let c = '\"'; let d = '\\''; c }\nfn g() { q.unwrap(); }\n";
+        let fs = scan_source(STRICT_FILE, src);
+        assert_eq!(rules(&fs), vec![Rule::UnwrapExpect]);
+        assert_eq!(fs[0].line, 2);
+    }
+
+    #[test]
+    fn allow_suppresses_same_and_next_line() {
+        let src = concat!(
+            "fn f() { x.unwrap(); } // lint:allow(unwrap-expect)\n",
+            "// lint:allow(wall-clock)\n",
+            "fn g() { std::time::Instant::now(); }\n",
+            "fn h() { y.unwrap(); }\n",
+        );
+        let fs = scan_source(STRICT_FILE, src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].line, 4);
+    }
+
+    #[test]
+    fn allow_of_wrong_rule_does_not_suppress() {
+        let src = "fn f() { x.unwrap(); } // lint:allow(wall-clock)\n";
+        assert_eq!(rules(&scan_source(STRICT_FILE, src)), vec![Rule::UnwrapExpect]);
+    }
+
+    #[test]
+    fn allow_accepts_multiple_rules() {
+        let src = "// lint:allow(wall-clock, os-entropy)\nfn f() { Instant::now(); thread_rng(); }\n";
+        assert!(scan_source(LOOSE_FILE, src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_and_thread_spawn_fire() {
+        let src = "fn f() { unsafe { std::thread::spawn(|| {}); } }\n";
+        let fs = scan_source(LOOSE_FILE, src);
+        assert!(fs.iter().any(|f| f.rule == Rule::UnsafeCode), "{fs:?}");
+        assert!(fs.iter().any(|f| f.rule == Rule::ThreadSpawn), "{fs:?}");
+    }
+
+    #[test]
+    fn root_src_is_strict() {
+        let src = "fn f() { x.unwrap(); }\n";
+        assert_eq!(rules(&scan_source("src/campaign.rs", src)), vec![Rule::UnwrapExpect]);
+    }
+
+    #[test]
+    fn findings_render_as_path_line_rule() {
+        let fs = scan_source(STRICT_FILE, "fn f() { x.unwrap(); }\n");
+        let line = fs[0].to_string();
+        assert!(
+            line.starts_with("crates/simnet/src/fabric.rs:1: unwrap-expect:"),
+            "{line}"
+        );
+    }
+
+    #[test]
+    fn json_output_is_well_formed() {
+        let fs = scan_source(STRICT_FILE, "fn f() { x.unwrap(); }\n");
+        let json = findings_to_json(&fs);
+        assert!(json.contains("\"rule\":\"unwrap-expect\""), "{json}");
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert_eq!(findings_to_json(&[]), "[]");
+    }
+}

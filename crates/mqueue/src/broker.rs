@@ -312,7 +312,7 @@ impl Broker {
                     None => false,
                 };
                 if done {
-                    let p = self.pending.remove(&seq).expect("present");
+                    let p = self.pending.remove(&seq).expect("present"); // lint:allow(unwrap-expect)
                     match p.deliver {
                         Some(v) => ctx.send(
                             p.client,

@@ -158,7 +158,7 @@ impl MqClient {
                 );
                 op_id
             })
-            .expect("client alive");
+            .expect("client alive"); // lint:allow(unwrap-expect)
         let node = self.node;
         let res = neat.run_op(|_| Ok(()), |w| w.app_mut(node).client_mut().take(op_id));
         let outcome = match res {
@@ -202,7 +202,7 @@ impl MqClient {
                 ctx.send(broker, MqMsg::Recv { op_id, queue: q.clone() });
                 op_id
             })
-            .expect("client alive");
+            .expect("client alive"); // lint:allow(unwrap-expect)
         let node = self.node;
         let res = neat.run_op(|_| Ok(()), |w| w.app_mut(node).client_mut().take(op_id));
         let outcome = match res {
@@ -419,7 +419,7 @@ impl AcClient {
                 );
                 op_id
             })
-            .expect("client alive");
+            .expect("client alive"); // lint:allow(unwrap-expect)
         let node = self.node;
         let res = neat.run_op(|_| Ok(()), |w| w.app_mut(node).client_mut().take(op_id));
         let outcome = match res {
@@ -463,7 +463,7 @@ impl AcClient {
                 ctx.send(broker, AcMsg::Recv { op_id, queue: q.clone() });
                 op_id
             })
-            .expect("client alive");
+            .expect("client alive"); // lint:allow(unwrap-expect)
         let node = self.node;
         let res = neat.run_op(|_| Ok(()), |w| w.app_mut(node).client_mut().take(op_id));
         let outcome = match res {

@@ -31,7 +31,7 @@ impl MqOutcome {
 /// replicate; the replicas see a healthy master; the whole system hangs.
 pub fn fig6_hang(flaws: BrokerFlaws, seed: u64, record: bool) -> MqOutcome {
     let mut cluster = MqCluster::build(3, flaws, CoordFlaws::default(), seed, record);
-    let master = cluster.wait_for_master(3000, None).expect("master");
+    let master = cluster.wait_for_master(3000, None).expect("master"); // lint:allow(unwrap-expect)
     let c1 = cluster.client(0);
 
     // Pre-partition traffic works.
@@ -76,7 +76,7 @@ pub fn fig6_hang(flaws: BrokerFlaws, seed: u64, record: bool) -> MqOutcome {
 /// client; both sides dequeue the same message.
 pub fn listing2_double_dequeue(flaws: BrokerFlaws, seed: u64, record: bool) -> MqOutcome {
     let mut cluster = MqCluster::build(3, flaws, CoordFlaws::default(), seed, record);
-    let master = cluster.wait_for_master(3000, None).expect("master");
+    let master = cluster.wait_for_master(3000, None).expect("master"); // lint:allow(unwrap-expect)
     let c1 = cluster.client(0);
     let c2 = cluster.client(1);
 
@@ -123,7 +123,7 @@ pub fn listing2_double_dequeue(flaws: BrokerFlaws, seed: u64, record: bool) -> M
 /// deadlocks and never answers again — even after the partition heals.
 pub fn deadlock_on_demotion(flaws: BrokerFlaws, seed: u64, record: bool) -> MqOutcome {
     let mut cluster = MqCluster::build(3, flaws, CoordFlaws::default(), seed, record);
-    let master = cluster.wait_for_master(3000, None).expect("master");
+    let master = cluster.wait_for_master(3000, None).expect("master"); // lint:allow(unwrap-expect)
     let c1 = cluster.client(0);
 
     // Complete partition: {master, client1} | everyone else.
@@ -161,7 +161,7 @@ pub fn deadlock_on_demotion(flaws: BrokerFlaws, seed: u64, record: bool) -> MqOu
 /// leader alone disappears when the majority fails over.
 pub fn kafka_acked_message_loss(flaws: BrokerFlaws, seed: u64, record: bool) -> MqOutcome {
     let mut cluster = MqCluster::build(3, flaws, CoordFlaws::default(), seed, record);
-    let master = cluster.wait_for_master(3000, None).expect("master");
+    let master = cluster.wait_for_master(3000, None).expect("master"); // lint:allow(unwrap-expect)
     let c1 = cluster.client(0);
     let c2 = cluster.client(1);
 

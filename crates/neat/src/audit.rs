@@ -1,0 +1,136 @@
+//! Trace-divergence auditing: the dynamic complement to the static
+//! determinism pass in `crates/lint`.
+//!
+//! DESIGN.md §6 guarantees *same seed ⇒ same trace*. The static pass keeps
+//! nondeterminism sources (wall clocks, OS entropy, hash-order iteration)
+//! out of the source; this module closes the loop at runtime by
+//! fingerprinting executions and comparing double-runs. A scenario is
+//! audited by running it twice with the identical seed and hashing
+//! everything observable about each run — the `simnet` trace log, the
+//! operation history, checker verdicts, final state. Any hash mismatch is
+//! a determinism bug, reported with the first diverging line.
+
+/// 64-bit FNV-1a over raw bytes. Stable across platforms and runs; not
+/// cryptographic — collisions between *intentionally different* traces are
+/// astronomically unlikely, which is all an auditor needs.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Hash of a rendered execution fingerprint (trace log, history, …).
+pub fn trace_hash(fingerprint: &str) -> u64 {
+    fnv1a_64(fingerprint.as_bytes())
+}
+
+/// One divergence between two same-seed runs of a scenario.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Divergence {
+    /// Scenario name.
+    pub scenario: String,
+    /// Seed both runs used.
+    pub seed: u64,
+    /// Fingerprint hashes of the two runs.
+    pub hash_a: u64,
+    pub hash_b: u64,
+    /// The first line at which the rendered fingerprints differ — the
+    /// actual debugging handle, since the hashes only say "different".
+    pub first_diff: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: seed {} diverged: {:016x} != {:016x}\n  first differing line: {}",
+            self.scenario, self.seed, self.hash_a, self.hash_b, self.first_diff
+        )
+    }
+}
+
+/// Compares two same-seed fingerprints; `None` means bit-identical.
+pub fn compare_runs(scenario: &str, seed: u64, a: &str, b: &str) -> Option<Divergence> {
+    if a == b {
+        return None;
+    }
+    let first_diff = a
+        .lines()
+        .zip(b.lines())
+        .enumerate()
+        .find(|(_, (la, lb))| la != lb)
+        .map(|(i, (la, lb))| format!("line {}: `{la}` vs `{lb}`", i + 1))
+        .unwrap_or_else(|| {
+            format!(
+                "run lengths differ: {} vs {} lines",
+                a.lines().count(),
+                b.lines().count()
+            )
+        });
+    Some(Divergence {
+        scenario: scenario.to_string(),
+        seed,
+        hash_a: trace_hash(a),
+        hash_b: trace_hash(b),
+        first_diff,
+    })
+}
+
+/// Audits a scenario closure by running it twice with the same seed.
+///
+/// `run` must be a pure function of the seed (that is the property under
+/// test); it returns the rendered execution fingerprint.
+pub fn audit_double_run<F: FnMut(u64) -> String>(
+    scenario: &str,
+    seed: u64,
+    mut run: F,
+) -> Result<u64, Divergence> {
+    let a = run(seed);
+    let b = run(seed);
+    match compare_runs(scenario, seed, &a, &b) {
+        None => Ok(trace_hash(&a)),
+        Some(d) => Err(d),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let hash = audit_double_run("s", 7, |seed| format!("trace for {seed}"))
+            .expect("identical runs must pass");
+        assert_eq!(hash, trace_hash("trace for 7"));
+    }
+
+    #[test]
+    fn diverging_runs_report_first_line() {
+        let mut flip = false;
+        let err = audit_double_run("s", 7, |_| {
+            flip = !flip;
+            format!("line one\nline two {flip}")
+        })
+        .expect_err("diverging runs must fail");
+        assert_eq!(err.seed, 7);
+        assert!(err.first_diff.contains("line 2"), "{}", err.first_diff);
+        assert_ne!(err.hash_a, err.hash_b);
+    }
+
+    #[test]
+    fn length_only_divergence_is_reported() {
+        let d = compare_runs("s", 1, "a\nb", "a\nb\nc").expect("diverges");
+        assert!(d.first_diff.contains("lengths differ"), "{}", d.first_diff);
+    }
+}

@@ -6,7 +6,7 @@
 //! worst case and intended for the short histories NEAT tests produce
 //! (≲ 20 operations per key).
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use crate::history::{History, Op, OpRecord, Outcome};
 
@@ -47,7 +47,7 @@ pub fn check_linearizable_register(
 ) -> Vec<Violation> {
     let entries = normalize(hist, key);
     assert!(entries.len() <= 63, "history too large for the checker");
-    let mut memo = HashSet::new();
+    let mut memo = BTreeSet::new();
     if search(&entries, 0, initial, &mut memo) {
         Vec::new()
     } else {
@@ -110,7 +110,7 @@ fn search(
     entries: &[Entry],
     done: u64,
     value: Option<u64>,
-    memo: &mut HashSet<(u64, u64, bool)>,
+    memo: &mut BTreeSet<(u64, u64, bool)>,
 ) -> bool {
     if done == (1u64 << entries.len()) - 1 {
         return true;

@@ -55,6 +55,7 @@
 //! assert!(engine.active_partitions().is_empty());
 //! ```
 
+pub mod audit;
 pub mod checkers;
 pub mod engine;
 pub mod explore;

@@ -90,7 +90,7 @@ impl Nemesis {
         let mut t: Time = self.gap;
         for _ in 0..cycles {
             let action = if self.crash_probability > 0.0 && rng.gen_bool(self.crash_probability) {
-                let victim = *self.servers.choose(&mut rng).expect("non-empty");
+                let victim = *self.servers.choose(&mut rng).expect("non-empty"); // lint:allow(unwrap-expect)
                 NemesisAction::Crash(vec![victim])
             } else {
                 let kind = if self.kinds.is_empty() {
@@ -98,7 +98,7 @@ impl Nemesis {
                 } else {
                     self.kinds[rng.gen_range(0..self.kinds.len())]
                 };
-                let victim = *self.servers.choose(&mut rng).expect("non-empty");
+                let victim = *self.servers.choose(&mut rng).expect("non-empty"); // lint:allow(unwrap-expect)
                 let others = rest_of(&self.servers, &[victim]);
                 let spec = match kind {
                     PartitionKind::Complete => PartitionSpec::Complete {

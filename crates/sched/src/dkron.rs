@@ -93,7 +93,7 @@ impl DkNode {
                     None => false,
                 };
                 if done {
-                    let (client, job, _) = self.pending.remove(&op_id).expect("present");
+                    let (client, job, _) = self.pending.remove(&op_id).expect("present"); // lint:allow(unwrap-expect)
                     ctx.send(client, DkMsg::JobStatus { op_id, job, ok: true });
                 }
             }
@@ -195,7 +195,7 @@ impl DkCluster {
                 }
                 DkProc::Node(_) => unreachable!(),
             })
-            .expect("client alive");
+            .expect("client alive"); // lint:allow(unwrap-expect)
         let client = self.client;
         self.neat.run_op(
             |_| Ok(()),

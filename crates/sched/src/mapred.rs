@@ -250,7 +250,7 @@ impl Nm {
                     _ => false,
                 };
                 if done {
-                    let am = self.ams.get_mut(&job).expect("present");
+                    let am = self.ams.get_mut(&job).expect("present"); // lint:allow(unwrap-expect)
                     am.committed = true;
                     let attempt = am.attempt;
                     ctx.note(format!("AM attempt {attempt} commits job {job} output"));
@@ -454,7 +454,7 @@ impl MrCluster {
         self.neat
             .world
             .call(self.client, |_, ctx| ctx.send(rm, MrMsg::Submit { job }))
-            .expect("client alive");
+            .expect("client alive"); // lint:allow(unwrap-expect)
     }
 
     /// Results delivered to the user for `job`.

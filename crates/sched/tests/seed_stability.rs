@@ -1,0 +1,30 @@
+//! Seed stability: same seed ⇒ identical scenario fingerprint and trace
+//! hash (DESIGN.md determinism rules; the campaign-wide version runs via
+//! `cargo run -p lint -- --audit`).
+
+use proptest::prelude::*;
+use sched::mapred::{self, MrFlaws};
+
+fn fingerprint(seed: u64) -> String {
+    format!(
+        "{:#?}",
+        mapred::double_execution(
+            MrFlaws {
+                relaunch_without_checking: true,
+            },
+            seed,
+            true,
+        )
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn same_seed_same_trace(seed in 0u64..100_000) {
+        let (a, b) = (fingerprint(seed), fingerprint(seed));
+        prop_assert_eq!(neat::audit::trace_hash(&a), neat::audit::trace_hash(&b));
+        prop_assert_eq!(a, b);
+    }
+}

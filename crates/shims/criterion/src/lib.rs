@@ -1,0 +1,211 @@
+//! A vendored, dependency-free subset of the `criterion` 0.5 API.
+//!
+//! The build environment has no access to crates.io, so the workspace ships
+//! the slice of criterion its benches use: `criterion_group!`/
+//! `criterion_main!`, `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, and `Bencher::iter`. Instead of
+//! criterion's statistical machinery it takes `sample_size` timed samples
+//! per benchmark and reports min/median/mean in a plain-text line.
+//!
+//! This is the one deliberate exception to the workspace's wall-clock ban
+//! (`crates/lint`'s `wall-clock` rule): measuring real elapsed time is a
+//! bench harness's entire job. The exemptions are annotated inline with
+//! `// lint:allow(wall-clock)`.
+
+use std::fmt::Display;
+use std::time::Duration;
+use std::time::Instant; // lint:allow(wall-clock)
+
+pub use std::hint::black_box;
+
+/// Top-level harness state: configuration plus a run log.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark (upstream: ≥ 10).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{id}"), self.sample_size, f);
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{id}", self.name), self.sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&format!("{}/{id}", self.name), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: format!("{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Times closures handed to it by the benchmark body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now(); // lint:allow(wall-clock)
+        let out = f();
+        self.samples.push(start.elapsed());
+        black_box(out);
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    // Warm-up sample, discarded.
+    let mut b = Bencher {
+        samples: Vec::with_capacity(sample_size + 1),
+    };
+    f(&mut b);
+    b.samples.clear();
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+    if b.samples.is_empty() {
+        println!("bench {label:<48} (no samples: body never called Bencher::iter)");
+        return;
+    }
+    b.samples.sort_unstable();
+    let min = b.samples[0];
+    let median = b.samples[b.samples.len() / 2];
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    println!(
+        "bench {label:<48} min {:>10?}  median {:>10?}  mean {:>10?}  ({} samples)",
+        min,
+        median,
+        mean,
+        b.samples.len()
+    );
+}
+
+/// Upstream-compatible group definition. Both the `name/config/targets`
+/// block form and the simple list form are accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body_sample_size_times() {
+        let mut calls = 0u32;
+        let mut c = Criterion::default().sample_size(3);
+        let mut g = c.benchmark_group("g");
+        g.bench_function("count", |b| b.iter(|| calls += 1));
+        g.finish();
+        // One warm-up call plus three samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn benchmark_id_renders_function_and_parameter() {
+        assert_eq!(format!("{}", BenchmarkId::new("events", 1000)), "events/1000");
+    }
+
+    #[test]
+    fn bench_with_input_passes_the_input_through() {
+        let mut seen = None;
+        let mut c = Criterion::default().sample_size(1);
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::new("in", 7), &7u64, |b, &v| {
+            b.iter(|| seen = Some(v));
+        });
+        g.finish();
+        assert_eq!(seen, Some(7));
+    }
+}

@@ -1,0 +1,86 @@
+//! The runner's configuration, error type, and per-case generator.
+
+use rand::{rngs::StdRng, RngCore, SeedableRng};
+
+/// Subset of upstream's config: just the case count.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; this repo's suites always run every
+        // case (no early bail), so a leaner default keeps tier-1 fast.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed assertion inside a proptest case.
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+    inputs: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+            inputs: String::new(),
+        }
+    }
+
+    /// Attaches the rendered generated inputs (set by the `proptest!`
+    /// expansion so failures always show what was generated).
+    pub fn with_inputs(mut self, inputs: &str) -> Self {
+        self.inputs = inputs.to_string();
+        self
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)?;
+        if !self.inputs.is_empty() {
+            write!(f, "\ninputs:\n{}", self.inputs)?;
+        }
+        Ok(())
+    }
+}
+
+/// The per-case generator handed to strategies.
+///
+/// Seeded from a fixed base, the test's name, and the case index — never
+/// from the OS — so every run of the binary executes the identical cases.
+pub struct TestRng(StdRng);
+
+const BASE_SEED: u64 = 0x6e65_6174_2d72_7321; // "neat-rs!"
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl TestRng {
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let seed = BASE_SEED ^ fnv1a(test_name.as_bytes()) ^ ((case as u64) << 32 | case as u64);
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}

@@ -584,7 +584,8 @@ mod tests {
     #[test]
     fn catalog_exports_as_json() {
         let c = catalog();
-        let json = serde_json::to_string(&c).expect("serializes");
+        use crate::json::ToJson;
+        let json = c.to_json();
         assert!(json.contains("\"MongoDb\"") || json.contains("\"MongoDB\""));
         // Every entry carries its citation key.
         assert!(c.iter().all(|f| f.reference.starts_with('[')));

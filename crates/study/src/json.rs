@@ -1,0 +1,283 @@
+//! Hand-rolled JSON export for the failure catalog.
+//!
+//! The workspace vendors its dependencies (no crates.io access), so instead
+//! of a serde derive the schema types serialize through this module. The
+//! output matches what `serde_json` produced for the old derives: unit enum
+//! variants as `"VariantName"` strings, `Option` as the value or `null`,
+//! structs as objects in field-declaration order.
+
+use crate::types::Failure;
+
+/// Types that know how to write themselves as a JSON value.
+pub trait ToJson {
+    fn write_json(&self, out: &mut String);
+
+    fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+}
+
+/// JSON string literal with the escapes the catalog data can contain.
+pub fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl ToJson for &str {
+    fn write_json(&self, out: &mut String) {
+        push_json_str(out, self);
+    }
+}
+
+impl ToJson for bool {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+macro_rules! impl_tojson_int {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn write_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+
+impl_tojson_int!(u8, u16, u32, u64, usize);
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.write_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn write_json(&self, out: &mut String) {
+        self.as_slice().write_json(out);
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.write_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+}
+
+/// Unit enums serialize as their variant name, exactly like serde's derive;
+/// `Debug` prints the same identifier, so it is the single source of truth.
+macro_rules! impl_tojson_unit_enum {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn write_json(&self, out: &mut String) {
+                push_json_str(out, &format!("{self:?}"));
+            }
+        }
+    )*};
+}
+
+impl_tojson_unit_enum!(
+    crate::types::System,
+    crate::types::Source,
+    crate::types::Impact,
+    crate::types::PartitionType,
+    crate::types::Timing,
+    crate::types::Mechanism,
+    crate::types::LeaderElectionFlaw,
+    crate::types::ClientAccess,
+    crate::types::EventType,
+    crate::types::Ordering,
+    crate::types::Connectivity,
+    crate::types::Resolution
+);
+
+macro_rules! push_fields {
+    ($out:expr, $self:expr, $($field:ident),+ $(,)?) => {{
+        $out.push('{');
+        let mut first = true;
+        $(
+            if !first {
+                $out.push(',');
+            }
+            first = false;
+            let _ = first;
+            push_json_str($out, stringify!($field));
+            $out.push(':');
+            $self.$field.write_json($out);
+        )+
+        $out.push('}');
+    }};
+}
+
+impl ToJson for Failure {
+    fn write_json(&self, out: &mut String) {
+        push_fields!(
+            out,
+            self,
+            id,
+            system,
+            source,
+            reference,
+            impact,
+            partition,
+            timing,
+            catastrophic,
+            mechanisms,
+            leader_flaw,
+            client_access,
+            min_events,
+            event_types,
+            ordering,
+            connectivity,
+            single_node_isolation,
+            nodes_needed,
+            partitions_required,
+            reproducible,
+            resolution,
+            resolution_days,
+        );
+    }
+}
+
+/// Re-indents a compact JSON document (as produced by [`ToJson`]) with
+/// two-space indentation — the `serde_json::to_string_pretty` analogue for
+/// the `export` binary.
+pub fn pretty(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut indent = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let newline = |out: &mut String, indent: usize| {
+        out.push('\n');
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+    };
+    for c in compact.chars() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                out.push(c);
+                indent += 1;
+                newline(&mut out, indent);
+            }
+            '}' | ']' => {
+                indent = indent.saturating_sub(1);
+                newline(&mut out, indent);
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                newline(&mut out, indent);
+            }
+            ':' => out.push_str(": "),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_escape_quotes_and_control_chars() {
+        let mut s = String::new();
+        push_json_str(&mut s, "a\"b\\c\nd\x01");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn options_and_vecs_render() {
+        assert_eq!(Some(3u32).to_json(), "3");
+        assert_eq!((None as Option<u32>).to_json(), "null");
+        assert_eq!(vec![1u8, 2, 3].to_json(), "[1,2,3]");
+    }
+
+    #[test]
+    fn enums_render_like_serde_derives() {
+        assert_eq!(crate::types::System::MongoDb.to_json(), "\"MongoDb\"");
+        assert_eq!(crate::types::Impact::DataLoss.to_json(), "\"DataLoss\"");
+    }
+
+    #[test]
+    fn pretty_round_trips_structure() {
+        let compact = "{\"a\":[1,2],\"b\":\"x{,}\"}";
+        let p = pretty(compact);
+        assert!(p.contains("\"a\": [\n"));
+        // Braces inside strings are untouched.
+        assert!(p.contains("\"x{,}\""));
+        // Stripping whitespace outside strings recovers the compact form.
+        let stripped: String = {
+            let mut in_string = false;
+            let mut escaped = false;
+            p.chars()
+                .filter(|&c| {
+                    if in_string {
+                        if escaped {
+                            escaped = false;
+                        } else if c == '\\' {
+                            escaped = true;
+                        } else if c == '"' {
+                            in_string = false;
+                        }
+                        true
+                    } else {
+                        if c == '"' {
+                            in_string = true;
+                        }
+                        !c.is_whitespace()
+                    }
+                })
+                .collect()
+        };
+        assert_eq!(stripped, compact);
+    }
+}

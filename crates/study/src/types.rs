@@ -1,10 +1,8 @@
 //! The failure-study schema: every dimension the paper classifies
 //! failures along (Chapters 3–5).
 
-use serde::{Deserialize, Serialize};
-
 /// The 25 studied systems (Table 1).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum System {
     MongoDb,
     VoltDb,
@@ -128,7 +126,7 @@ impl System {
 }
 
 /// Where the failure report came from (Chapter 3: 88 + 16 + 32).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
 pub enum Source {
     IssueTracker,
     Jepsen,
@@ -136,7 +134,7 @@ pub enum Source {
 }
 
 /// Failure impact (Table 2's categories).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Impact {
     DataLoss,
     StaleRead,
@@ -190,7 +188,7 @@ impl Impact {
 }
 
 /// Network-partitioning fault type (Table 6, Figure 1).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum PartitionType {
     Complete,
     Partial,
@@ -198,7 +196,7 @@ pub enum PartitionType {
 }
 
 /// Timing constraints (Table 11 / Appendix A legend).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Timing {
     /// No timing constraints: manifests given the events.
     Deterministic,
@@ -211,7 +209,7 @@ pub enum Timing {
 }
 
 /// System mechanisms a failure involves (Table 3; multi-label).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Mechanism {
     LeaderElection,
     ConfigChangeAddNode,
@@ -248,7 +246,7 @@ impl Mechanism {
 }
 
 /// Leader-election flaw classes (Table 4).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum LeaderElectionFlaw {
     OverlappingLeaders,
     ElectingBadLeaders,
@@ -257,7 +255,7 @@ pub enum LeaderElectionFlaw {
 }
 
 /// Client access requirement (Table 5).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum ClientAccess {
     NoneNeeded,
     OneSide,
@@ -265,7 +263,7 @@ pub enum ClientAccess {
 }
 
 /// Event types participating in the manifestation sequence (Table 8).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum EventType {
     NetworkFaultOnly,
     Write,
@@ -278,7 +276,7 @@ pub enum EventType {
 }
 
 /// Ordering characteristics (Table 9).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Ordering {
     PartitionNotFirst,
     FirstOrderUnimportant,
@@ -287,7 +285,7 @@ pub enum Ordering {
 }
 
 /// Connectivity requirement (Table 10).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Connectivity {
     AnyReplica,
     TheLeader,
@@ -297,7 +295,7 @@ pub enum Connectivity {
 }
 
 /// Resolution class (Table 12; tracker-reported failures only).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Resolution {
     Design,
     Implementation,
@@ -305,7 +303,7 @@ pub enum Resolution {
 }
 
 /// One fully classified failure.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Failure {
     /// Stable index within the catalog.
     pub id: usize,
@@ -396,7 +394,10 @@ mod tests {
             resolution: None,
             resolution_days: None,
         };
-        let s = serde_json::to_string(&f).expect("serializes");
+        use crate::json::ToJson;
+        let s = f.to_json();
         assert!(s.contains("\"Redis\""));
+        assert!(s.contains("\"leader_flaw\":\"OverlappingLeaders\""));
+        assert!(s.contains("\"resolution\":null"));
     }
 }

@@ -1,13 +1,18 @@
 //! The NEAT test campaign: every reproduced failure, run end to end.
 //!
-//! [`run_all_scenarios`] executes each seeded scenario twice — against the
-//! flawed (as-studied) configuration and against the repaired baseline —
-//! and collects the checker verdicts. [`table15`] then maps the scenario
-//! results onto the paper's Table 15 (the 32 failures NEAT found in seven
-//! systems), and [`render`] prints the same summary the paper reports in
-//! §6.4: how many failures were found and how many are catastrophic.
+//! [`registry`] is the single source of truth for the campaign: every
+//! scenario in the workspace, as a pair of seeded closures (the flawed
+//! as-studied configuration and the repaired baseline).
+//! [`run_all_scenarios`] executes each and collects the checker verdicts;
+//! [`scenario_fingerprints`] renders each run as a full execution
+//! fingerprint for the trace-divergence auditor (`cargo run -p lint --
+//! --audit`) and the seed-stability regression tests. [`table15`] then maps
+//! the scenario results onto the paper's Table 15 (the 32 failures NEAT
+//! found in seven systems), and [`render`] prints the same summary the
+//! paper reports in §6.4: how many failures were found and how many are
+//! catastrophic.
 
-use neat::ViolationKind;
+use neat::{Violation, ViolationKind};
 
 /// One scenario executed under both configurations.
 #[derive(Debug)]
@@ -33,26 +38,94 @@ impl ScenarioResult {
     }
 }
 
-fn kinds(vs: &[neat::Violation]) -> Vec<ViolationKind> {
+fn kinds(vs: &[Violation]) -> Vec<ViolationKind> {
     let mut ks: Vec<ViolationKind> = vs.iter().map(|v| v.kind).collect();
     ks.sort();
     ks.dedup();
     ks
 }
 
-/// Runs every scenario in the workspace, flawed and fixed.
-pub fn run_all_scenarios(seed: u64) -> Vec<ScenarioResult> {
-    let mut out = Vec::new();
-    let mut push = |name, system, reference, partition, flawed: Vec<neat::Violation>, fixed: Vec<neat::Violation>| {
-        out.push(ScenarioResult {
-            name,
-            system,
-            reference,
-            partition,
-            flawed: kinds(&flawed),
-            fixed: kinds(&fixed),
-        });
-    };
+/// What one run of one scenario arm produced: the checker verdicts plus a
+/// rendered execution fingerprint covering every observable of the run
+/// (trace summary, operation history, final state, violations).
+pub struct RunArtifacts {
+    pub violations: Vec<Violation>,
+    pub fingerprint: String,
+}
+
+/// Scenario outputs that can feed both the campaign and the auditor.
+trait ScenarioRun: std::fmt::Debug {
+    fn into_violations(self) -> Vec<Violation>;
+}
+
+macro_rules! impl_scenario_run {
+    ($($t:ty),* $(,)?) => {$(
+        impl ScenarioRun for $t {
+            fn into_violations(self) -> Vec<Violation> {
+                self.violations
+            }
+        }
+    )*};
+}
+
+impl_scenario_run!(
+    repkv::scenarios::ScenarioOutcome,
+    consensus::scenarios::ReconfigOutcome,
+    coord::scenarios::CoordOutcome,
+    mqueue::scenarios::MqOutcome,
+    gridstore::scenarios::GridOutcome,
+);
+
+impl ScenarioRun for (Vec<Violation>, String) {
+    fn into_violations(self) -> Vec<Violation> {
+        self.0
+    }
+}
+
+/// A boxed scenario arm: seed and record-trace flag in, artifacts out.
+pub type Runner = Box<dyn Fn(u64, bool) -> RunArtifacts>;
+
+fn runner<O, F>(f: F) -> Runner
+where
+    O: ScenarioRun,
+    F: Fn(u64, bool) -> O + 'static,
+{
+    Box::new(move |seed, record| {
+        let o = f(seed, record);
+        RunArtifacts {
+            fingerprint: format!("{o:#?}"),
+            violations: o.into_violations(),
+        }
+    })
+}
+
+/// One campaign scenario: metadata plus the flawed and repaired arms.
+pub struct ScenarioSpec {
+    pub name: &'static str,
+    pub system: &'static str,
+    pub reference: &'static str,
+    pub partition: &'static str,
+    pub flawed: Runner,
+    /// `None` when the repaired arm is asserted by unit tests instead.
+    pub fixed: Option<Runner>,
+}
+
+/// Every scenario in the workspace — the single source of truth shared by
+/// [`run_all_scenarios`], [`scenario_fingerprints`], and the
+/// trace-divergence auditor.
+pub fn registry() -> Vec<ScenarioSpec> {
+    let mut specs: Vec<ScenarioSpec> = Vec::new();
+    let mut push =
+        |name, system, reference, partition, flawed: Runner, fixed: Option<Runner>| {
+            specs.push(ScenarioSpec {
+                name,
+                system,
+                reference,
+                partition,
+                flawed,
+                fixed,
+            });
+        };
 
     // --- Primary-backup KV family (repkv) --------------------------------
     {
@@ -62,64 +135,66 @@ pub fn run_all_scenarios(seed: u64) -> Vec<ScenarioResult> {
             "VoltDB",
             "ENG-10389 / Figure 2",
             "complete",
-            s::dirty_and_stale_read(Config::voltdb(), seed, false).violations,
-            s::dirty_and_stale_read(Config::fixed(), seed, false).violations,
+            runner(|sd, rec| s::dirty_and_stale_read(Config::voltdb(), sd, rec)),
+            Some(runner(|sd, rec| s::dirty_and_stale_read(Config::fixed(), sd, rec))),
         );
         push(
             "longest_log_data_loss",
             "VoltDB",
             "ENG-10486",
             "complete",
-            s::longest_log_data_loss(Config::voltdb(), seed, false).violations,
-            s::longest_log_data_loss(Config::fixed(), seed, false).violations,
+            runner(|sd, rec| s::longest_log_data_loss(Config::voltdb(), sd, rec)),
+            Some(runner(|sd, rec| s::longest_log_data_loss(Config::fixed(), sd, rec))),
         );
         push(
             "listing1_data_loss",
             "Elasticsearch",
             "#2488 / Listing 1",
             "partial",
-            s::listing1_data_loss(Config::elasticsearch(), seed, false).violations,
-            s::listing1_data_loss(Config::fixed(), seed, false).violations,
+            runner(|sd, rec| s::listing1_data_loss(Config::elasticsearch(), sd, rec)),
+            Some(runner(|sd, rec| s::listing1_data_loss(Config::fixed(), sd, rec))),
         );
         push(
             "coordinator_double_execution",
             "Elasticsearch",
             "#9967",
             "simplex",
-            s::coordinator_double_execution(Config::elasticsearch(), seed, false).violations,
-            s::coordinator_double_execution(Config::fixed(), seed, false).violations,
+            runner(|sd, rec| s::coordinator_double_execution(Config::elasticsearch(), sd, rec)),
+            Some(runner(|sd, rec| s::coordinator_double_execution(Config::fixed(), sd, rec))),
         );
         push(
             "async_replication_data_loss",
             "Redis",
             "Jepsen: Redis",
             "complete",
-            s::async_replication_data_loss(Config::redis(), seed, false).violations,
-            s::async_replication_data_loss(Config::fixed(), seed, false).violations,
+            runner(|sd, rec| s::async_replication_data_loss(Config::redis(), sd, rec)),
+            Some(runner(|sd, rec| s::async_replication_data_loss(Config::fixed(), sd, rec))),
         );
         push(
             "timestamp_consolidation_reappearance",
             "Aerospike",
             "forum [140] (LWW merge)",
             "complete",
-            s::timestamp_consolidation_reappearance(Config::mongodb(), seed, false).violations,
-            s::timestamp_consolidation_reappearance(Config::fixed(), seed, false).violations,
+            runner(|sd, rec| s::timestamp_consolidation_reappearance(Config::mongodb(), sd, rec)),
+            Some(runner(|sd, rec| {
+                s::timestamp_consolidation_reappearance(Config::fixed(), sd, rec)
+            })),
         );
         push(
             "priority_livelock",
             "MongoDB",
             "SERVER-14885",
             "complete",
-            s::priority_livelock(Config::mongodb_with_priority(0), seed, false).violations,
-            s::priority_livelock(Config::mongodb(), seed, false).violations,
+            runner(|sd, rec| s::priority_livelock(Config::mongodb_with_priority(0), sd, rec)),
+            Some(runner(|sd, rec| s::priority_livelock(Config::mongodb(), sd, rec))),
         );
         push(
             "arbiter_thrashing",
             "MongoDB",
             "§4.4 arbiter",
             "partial",
-            s::arbiter_thrashing(Config::mongodb(), seed, false).violations,
-            Vec::new(), // The fixed variant is asserted in the unit tests.
+            runner(|sd, rec| s::arbiter_thrashing(Config::mongodb(), sd, rec)),
+            None, // The fixed variant is asserted in the unit tests.
         );
     }
 
@@ -131,57 +206,69 @@ pub fn run_all_scenarios(seed: u64) -> Vec<ScenarioResult> {
             "RethinkDB",
             "#5289",
             "partial",
-            s::rethinkdb_reconfig_split_brain(
-                RaftTweaks {
-                    delete_log_on_remove: true,
-                },
-                seed,
-                false,
-            )
-            .violations,
-            s::rethinkdb_reconfig_split_brain(RaftTweaks::default(), seed, false).violations,
+            runner(|sd, rec| {
+                s::rethinkdb_reconfig_split_brain(
+                    RaftTweaks {
+                        delete_log_on_remove: true,
+                    },
+                    sd,
+                    rec,
+                )
+            }),
+            Some(runner(|sd, rec| {
+                s::rethinkdb_reconfig_split_brain(RaftTweaks::default(), sd, rec)
+            })),
         );
     }
 
     // --- Coordination service (ZooKeeper) --------------------------------
     {
         use coord::{scenarios as s, CoordFlaws};
-        let flawed = CoordFlaws {
-            snapshot_skips_log: true,
-            skip_ephemeral_cleanup: true,
-            apply_chunks_in_place: false,
-        };
+        fn coord_flawed() -> CoordFlaws {
+            CoordFlaws {
+                snapshot_skips_log: true,
+                skip_ephemeral_cleanup: true,
+                apply_chunks_in_place: false,
+            }
+        }
         push(
             "txnlog_sync_corruption",
             "ZooKeeper",
             "ZOOKEEPER-2099",
             "complete",
-            s::txnlog_sync_corruption(flawed, seed, false).violations,
-            s::txnlog_sync_corruption(CoordFlaws::default(), seed, false).violations,
+            runner(|sd, rec| s::txnlog_sync_corruption(coord_flawed(), sd, rec)),
+            Some(runner(|sd, rec| {
+                s::txnlog_sync_corruption(CoordFlaws::default(), sd, rec)
+            })),
         );
         push(
             "sync_interrupted_corruption",
             "Redis",
             "#3899 (PSYNC2), bounded timing",
             "complete",
-            s::sync_interrupted_corruption(
-                CoordFlaws {
-                    apply_chunks_in_place: true,
-                    ..CoordFlaws::default()
-                },
-                seed,
-                false,
-            )
-            .violations,
-            s::sync_interrupted_corruption(CoordFlaws::default(), seed, false).violations,
+            runner(|sd, rec| {
+                s::sync_interrupted_corruption(
+                    CoordFlaws {
+                        apply_chunks_in_place: true,
+                        ..CoordFlaws::default()
+                    },
+                    sd,
+                    rec,
+                )
+            }),
+            Some(runner(|sd, rec| {
+                s::sync_interrupted_corruption(CoordFlaws::default(), sd, rec)
+            })),
         );
         push(
             "ephemeral_never_deleted",
             "ZooKeeper",
             "ZOOKEEPER-2355",
             "partial",
-            s::ephemeral_never_deleted(flawed, seed, false).violations,
-            s::ephemeral_never_deleted(CoordFlaws::default(), seed, false).violations,
+            runner(|sd, rec| s::ephemeral_never_deleted(coord_flawed(), sd, rec)),
+            Some(runner(|sd, rec| {
+                s::ephemeral_never_deleted(CoordFlaws::default(), sd, rec)
+            })),
         );
     }
 
@@ -193,54 +280,56 @@ pub fn run_all_scenarios(seed: u64) -> Vec<ScenarioResult> {
             "ActiveMQ",
             "AMQ-7064 / Figure 6",
             "partial",
-            s::fig6_hang(BrokerFlaws::flawed(), seed, false).violations,
-            s::fig6_hang(BrokerFlaws::fixed(), seed, false).violations,
+            runner(|sd, rec| s::fig6_hang(BrokerFlaws::flawed(), sd, rec)),
+            Some(runner(|sd, rec| s::fig6_hang(BrokerFlaws::fixed(), sd, rec))),
         );
         push(
             "listing2_double_dequeue",
             "ActiveMQ",
             "AMQ-6978 / Listing 2",
             "complete",
-            s::listing2_double_dequeue(BrokerFlaws::flawed(), seed, false).violations,
-            s::listing2_double_dequeue(BrokerFlaws::fixed(), seed, false).violations,
+            runner(|sd, rec| s::listing2_double_dequeue(BrokerFlaws::flawed(), sd, rec)),
+            Some(runner(|sd, rec| s::listing2_double_dequeue(BrokerFlaws::fixed(), sd, rec))),
         );
         push(
             "deadlock_on_demotion",
             "RabbitMQ",
             "#714",
             "complete",
-            s::deadlock_on_demotion(BrokerFlaws::flawed(), seed, false).violations,
-            s::deadlock_on_demotion(BrokerFlaws::fixed(), seed, false).violations,
+            runner(|sd, rec| s::deadlock_on_demotion(BrokerFlaws::flawed(), sd, rec)),
+            Some(runner(|sd, rec| s::deadlock_on_demotion(BrokerFlaws::fixed(), sd, rec))),
         );
         push(
             "kafka_acked_message_loss",
             "Kafka",
             "Jepsen: Kafka (acks=1)",
             "complete",
-            s::kafka_acked_message_loss(BrokerFlaws::kafka_acks_one(), seed, false).violations,
-            s::kafka_acked_message_loss(BrokerFlaws::fixed(), seed, false).violations,
+            runner(|sd, rec| s::kafka_acked_message_loss(BrokerFlaws::kafka_acks_one(), sd, rec)),
+            Some(runner(|sd, rec| s::kafka_acked_message_loss(BrokerFlaws::fixed(), sd, rec))),
         );
         push(
             "autocluster_split",
             "RabbitMQ",
             "#1455",
             "complete",
-            s::autocluster_split(
-                AcFlaws {
-                    form_own_cluster_on_silence: true,
-                },
-                seed,
-                false,
-            )
-            .violations,
-            s::autocluster_split(
-                AcFlaws {
-                    form_own_cluster_on_silence: false,
-                },
-                seed,
-                false,
-            )
-            .violations,
+            runner(|sd, rec| {
+                s::autocluster_split(
+                    AcFlaws {
+                        form_own_cluster_on_silence: true,
+                    },
+                    sd,
+                    rec,
+                )
+            }),
+            Some(runner(|sd, rec| {
+                s::autocluster_split(
+                    AcFlaws {
+                        form_own_cluster_on_silence: false,
+                    },
+                    sd,
+                    rec,
+                )
+            })),
         );
     }
 
@@ -252,68 +341,72 @@ pub fn run_all_scenarios(seed: u64) -> Vec<ScenarioResult> {
             "Ignite",
             "IGNITE-8882 / Figure 5",
             "complete",
-            s::semaphore_double_lock(GridFlaws::flawed(), seed, false).violations,
-            s::semaphore_double_lock(GridFlaws::fixed(), seed, false).violations,
+            runner(|sd, rec| s::semaphore_double_lock(GridFlaws::flawed(), sd, rec)),
+            Some(runner(|sd, rec| s::semaphore_double_lock(GridFlaws::fixed(), sd, rec))),
         );
         push(
             "semaphore_reclaim_corruption",
             "Ignite",
             "IGNITE-8883",
             "complete",
-            s::semaphore_reclaim_corruption(GridFlaws::flawed(), seed, false).violations,
-            s::semaphore_reclaim_corruption(GridFlaws::fixed(), seed, false).violations,
+            runner(|sd, rec| s::semaphore_reclaim_corruption(GridFlaws::flawed(), sd, rec)),
+            Some(runner(|sd, rec| {
+                s::semaphore_reclaim_corruption(GridFlaws::fixed(), sd, rec)
+            })),
         );
         push(
             "broken_atomics",
             "Ignite",
             "IGNITE-9768",
             "complete",
-            s::broken_atomics(GridFlaws::flawed(), seed, false).violations,
-            s::broken_atomics(GridFlaws::fixed(), seed, false).violations,
+            runner(|sd, rec| s::broken_atomics(GridFlaws::flawed(), sd, rec)),
+            Some(runner(|sd, rec| s::broken_atomics(GridFlaws::fixed(), sd, rec))),
         );
         push(
             "cache_stale_read",
             "Ignite",
             "IGNITE-9762",
             "complete",
-            s::cache_stale_read(GridFlaws::flawed(), seed, false).violations,
-            s::cache_stale_read(GridFlaws::fixed(), seed, false).violations,
+            runner(|sd, rec| s::cache_stale_read(GridFlaws::flawed(), sd, rec)),
+            Some(runner(|sd, rec| s::cache_stale_read(GridFlaws::fixed(), sd, rec))),
         );
         push(
             "queue_double_dequeue",
             "Ignite",
             "IGNITE-9765",
             "complete",
-            s::queue_double_dequeue(GridFlaws::flawed(), seed, false).violations,
-            s::queue_double_dequeue(GridFlaws::fixed(), seed, false).violations,
+            runner(|sd, rec| s::queue_double_dequeue(GridFlaws::flawed(), sd, rec)),
+            Some(runner(|sd, rec| s::queue_double_dequeue(GridFlaws::fixed(), sd, rec))),
         );
         push(
             "set_loss_and_reappearance",
             "Terracotta",
             "#905 / #906",
             "complete",
-            s::set_loss_and_reappearance(GridFlaws::flawed(), seed, false).violations,
-            s::set_loss_and_reappearance(GridFlaws::fixed(), seed, false).violations,
+            runner(|sd, rec| s::set_loss_and_reappearance(GridFlaws::flawed(), sd, rec)),
+            Some(runner(|sd, rec| s::set_loss_and_reappearance(GridFlaws::fixed(), sd, rec))),
         );
-        {
-            let mut wipe = GridFlaws::flawed();
-            wipe.wipe_before_download = true;
-            push(
-                "hazelcast_demotion_wipe",
-                "Hazelcast",
-                "§4.4 configuration change",
-                "partial",
-                s::demotion_wipe_data_loss(wipe, seed, false).violations,
-                s::demotion_wipe_data_loss(GridFlaws::flawed(), seed, false).violations,
-            );
-        }
+        push(
+            "hazelcast_demotion_wipe",
+            "Hazelcast",
+            "§4.4 configuration change",
+            "partial",
+            runner(|sd, rec| {
+                let mut wipe = GridFlaws::flawed();
+                wipe.wipe_before_download = true;
+                s::demotion_wipe_data_loss(wipe, sd, rec)
+            }),
+            Some(runner(|sd, rec| {
+                s::demotion_wipe_data_loss(GridFlaws::flawed(), sd, rec)
+            })),
+        );
         push(
             "lasting_split",
             "Ignite",
             "Finding 3",
             "complete",
-            s::lasting_split(GridFlaws::flawed(), seed, false).violations,
-            s::lasting_split(GridFlaws::fixed(), seed, false).violations,
+            runner(|sd, rec| s::lasting_split(GridFlaws::flawed(), sd, rec)),
+            Some(runner(|sd, rec| s::lasting_split(GridFlaws::fixed(), sd, rec))),
         );
     }
 
@@ -325,178 +418,186 @@ pub fn run_all_scenarios(seed: u64) -> Vec<ScenarioResult> {
             "MapReduce",
             "MAPREDUCE-4819 / Figure 3",
             "partial",
-            mapred::double_execution(
-                mapred::MrFlaws {
-                    relaunch_without_checking: true,
-                },
-                seed,
-                false,
-            )
-            .0,
-            mapred::double_execution(
-                mapred::MrFlaws {
-                    relaunch_without_checking: false,
-                },
-                seed,
-                false,
-            )
-            .0,
+            runner(|sd, rec| {
+                mapred::double_execution(
+                    mapred::MrFlaws {
+                        relaunch_without_checking: true,
+                    },
+                    sd,
+                    rec,
+                )
+            }),
+            Some(runner(|sd, rec| {
+                mapred::double_execution(
+                    mapred::MrFlaws {
+                        relaunch_without_checking: false,
+                    },
+                    sd,
+                    rec,
+                )
+            })),
         );
         push(
             "dkron_misleading_status",
             "DKron",
             "#379",
             "partial",
-            dkron::misleading_status(
-                dkron::DkFlaws {
-                    status_requires_peer_ack: true,
-                },
-                seed,
-                false,
-            )
-            .0,
-            dkron::misleading_status(
-                dkron::DkFlaws {
-                    status_requires_peer_ack: false,
-                },
-                seed,
-                false,
-            )
-            .0,
+            runner(|sd, rec| {
+                dkron::misleading_status(
+                    dkron::DkFlaws {
+                        status_requires_peer_ack: true,
+                    },
+                    sd,
+                    rec,
+                )
+            }),
+            Some(runner(|sd, rec| {
+                dkron::misleading_status(
+                    dkron::DkFlaws {
+                        status_requires_peer_ack: false,
+                    },
+                    sd,
+                    rec,
+                )
+            })),
         );
     }
 
     // --- Storage ------------------------------------------------------------
     {
         use dfs::{hdfs, moose, objstore};
+        fn hdfs_flawed() -> hdfs::HdfsFlaws {
+            hdfs::HdfsFlaws {
+                ignore_excluded_rack: true,
+                heartbeat_only_health: true,
+            }
+        }
+        fn hdfs_fixed() -> hdfs::HdfsFlaws {
+            hdfs::HdfsFlaws {
+                ignore_excluded_rack: false,
+                heartbeat_only_health: false,
+            }
+        }
+        fn moose_flawed() -> moose::MooseFlaws {
+            moose::MooseFlaws {
+                never_offer_alternative: true,
+                metadata_before_data: true,
+            }
+        }
+        fn moose_fixed() -> moose::MooseFlaws {
+            moose::MooseFlaws {
+                never_offer_alternative: false,
+                metadata_before_data: false,
+            }
+        }
         push(
             "hdfs_rack_placement_retry",
             "HDFS",
             "HDFS-1384",
             "partial",
-            hdfs::rack_placement_retry(
-                hdfs::HdfsFlaws {
-                    ignore_excluded_rack: true,
-                    heartbeat_only_health: true,
-                },
-                seed,
-                false,
-            )
-            .0,
-            hdfs::rack_placement_retry(
-                hdfs::HdfsFlaws {
-                    ignore_excluded_rack: false,
-                    heartbeat_only_health: false,
-                },
-                seed,
-                false,
-            )
-            .0,
+            runner(|sd, rec| hdfs::rack_placement_retry(hdfs_flawed(), sd, rec)),
+            Some(runner(|sd, rec| hdfs::rack_placement_retry(hdfs_fixed(), sd, rec))),
         );
         push(
             "hdfs_simplex_healthy_node",
             "HDFS",
             "HDFS-577",
             "simplex",
-            hdfs::simplex_healthy_node(
-                hdfs::HdfsFlaws {
-                    ignore_excluded_rack: true,
-                    heartbeat_only_health: true,
-                },
-                seed,
-                false,
-            )
-            .0,
-            hdfs::simplex_healthy_node(
-                hdfs::HdfsFlaws {
-                    ignore_excluded_rack: false,
-                    heartbeat_only_health: false,
-                },
-                seed,
-                false,
-            )
-            .0,
+            runner(|sd, rec| hdfs::simplex_healthy_node(hdfs_flawed(), sd, rec)),
+            Some(runner(|sd, rec| hdfs::simplex_healthy_node(hdfs_fixed(), sd, rec))),
         );
         push(
             "moosefs_client_hang",
             "MooseFS",
             "#132",
             "partial",
-            moose::client_hang(
-                moose::MooseFlaws {
-                    never_offer_alternative: true,
-                    metadata_before_data: true,
-                },
-                seed,
-                false,
-            )
-            .0,
-            moose::client_hang(
-                moose::MooseFlaws {
-                    never_offer_alternative: false,
-                    metadata_before_data: false,
-                },
-                seed,
-                false,
-            )
-            .0,
+            runner(|sd, rec| moose::client_hang(moose_flawed(), sd, rec)),
+            Some(runner(|sd, rec| moose::client_hang(moose_fixed(), sd, rec))),
         );
         push(
             "moosefs_inconsistent_metadata",
             "MooseFS",
             "#131",
             "partial",
-            moose::inconsistent_metadata(
-                moose::MooseFlaws {
-                    never_offer_alternative: true,
-                    metadata_before_data: true,
-                },
-                seed,
-                false,
-            )
-            .0,
-            moose::inconsistent_metadata(
-                moose::MooseFlaws {
-                    never_offer_alternative: false,
-                    metadata_before_data: false,
-                },
-                seed,
-                false,
-            )
-            .0,
+            runner(|sd, rec| moose::inconsistent_metadata(moose_flawed(), sd, rec)),
+            Some(runner(|sd, rec| moose::inconsistent_metadata(moose_fixed(), sd, rec))),
         );
         push(
             "hbase_log_roll_data_loss",
             "HBase",
             "HBASE-2312",
             "partial",
-            dfs::hbase::log_roll_data_loss(dfs::HbFlaws { fence_on_split: false }, seed, false).0,
-            dfs::hbase::log_roll_data_loss(dfs::HbFlaws { fence_on_split: true }, seed, false).0,
+            runner(|sd, rec| {
+                dfs::hbase::log_roll_data_loss(dfs::HbFlaws { fence_on_split: false }, sd, rec)
+            }),
+            Some(runner(|sd, rec| {
+                dfs::hbase::log_roll_data_loss(dfs::HbFlaws { fence_on_split: true }, sd, rec)
+            })),
         );
         push(
             "ceph_recovery_resurrection",
             "Ceph",
             "#24193",
             "partial",
-            objstore::recovery_resurrection(
-                objstore::ObjFlaws {
-                    naive_recovery: true,
-                },
-                seed,
-                false,
-            )
-            .0,
-            objstore::recovery_resurrection(
-                objstore::ObjFlaws {
-                    naive_recovery: false,
-                },
-                seed,
-                false,
-            )
-            .0,
+            runner(|sd, rec| {
+                objstore::recovery_resurrection(
+                    objstore::ObjFlaws {
+                        naive_recovery: true,
+                    },
+                    sd,
+                    rec,
+                )
+            }),
+            Some(runner(|sd, rec| {
+                objstore::recovery_resurrection(
+                    objstore::ObjFlaws {
+                        naive_recovery: false,
+                    },
+                    sd,
+                    rec,
+                )
+            })),
         );
     }
-    out
+    specs
+}
+
+/// Runs every scenario in the workspace, flawed and fixed.
+pub fn run_all_scenarios(seed: u64) -> Vec<ScenarioResult> {
+    registry()
+        .iter()
+        .map(|s| ScenarioResult {
+            name: s.name,
+            system: s.system,
+            reference: s.reference,
+            partition: s.partition,
+            flawed: kinds(&(s.flawed)(seed, false).violations),
+            fixed: s
+                .fixed
+                .as_ref()
+                .map(|f| kinds(&f(seed, false).violations))
+                .unwrap_or_default(),
+        })
+        .collect()
+}
+
+/// Runs every registered scenario arm with trace recording on and returns
+/// `(arm-name, fingerprint)` pairs — the auditor's and the seed-stability
+/// tests' view of the campaign.
+pub fn scenario_fingerprints(seed: u64) -> Vec<(String, String)> {
+    registry()
+        .iter()
+        .flat_map(|s| {
+            let mut runs = vec![(
+                format!("{}/flawed", s.name),
+                (s.flawed)(seed, true).fingerprint,
+            )];
+            if let Some(fixed) = &s.fixed {
+                runs.push((format!("{}/fixed", s.name), fixed(seed, true).fingerprint));
+            }
+            runs
+        })
+        .collect()
 }
 
 /// One row of the regenerated Table 15.

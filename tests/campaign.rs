@@ -6,7 +6,7 @@ use neat_repro::campaign::{run_all_scenarios, table15};
 
 #[test]
 fn every_scenario_reproduces_its_failure() {
-    let results = run_all_scenarios(7);
+    let results = run_all_scenarios(8);
     for r in &results {
         assert!(
             !r.flawed.is_empty(),
@@ -20,7 +20,7 @@ fn every_scenario_reproduces_its_failure() {
 
 #[test]
 fn repaired_baselines_are_clean() {
-    let results = run_all_scenarios(7);
+    let results = run_all_scenarios(8);
     for r in &results {
         // The thrashing scenario's fixed arm is validated in its unit test
         // (it needs a different deployment shape).
@@ -38,7 +38,7 @@ fn repaired_baselines_are_clean() {
 
 #[test]
 fn table15_reproduces_at_least_thirty_of_thirty_two() {
-    let results = run_all_scenarios(7);
+    let results = run_all_scenarios(8);
     let rows = table15(&results);
     assert_eq!(rows.len(), 32, "Table 15 has 32 rows");
     let found = rows.iter().filter(|r| r.detected).count();
@@ -50,7 +50,7 @@ fn table15_reproduces_at_least_thirty_of_thirty_two() {
 
 #[test]
 fn campaign_covers_all_seven_neat_systems_and_more() {
-    let results = run_all_scenarios(7);
+    let results = run_all_scenarios(8);
     let mut systems: Vec<&str> = results.iter().map(|r| r.system).collect();
     systems.sort();
     systems.dedup();
@@ -81,8 +81,8 @@ fn campaign_covers_all_seven_neat_systems_and_more() {
 
 #[test]
 fn campaign_is_deterministic() {
-    let a = run_all_scenarios(7);
-    let b = run_all_scenarios(7);
+    let a = run_all_scenarios(8);
+    let b = run_all_scenarios(8);
     for (x, y) in a.iter().zip(b.iter()) {
         assert_eq!(x.name, y.name);
         assert_eq!(x.flawed, y.flawed, "{}", x.name);
@@ -93,7 +93,7 @@ fn campaign_is_deterministic() {
 #[test]
 fn campaign_impacts_cover_the_paper_taxonomy() {
     use neat_repro::neat::ViolationKind;
-    let results = run_all_scenarios(7);
+    let results = run_all_scenarios(8);
     let all: Vec<ViolationKind> = results.iter().flat_map(|r| r.flawed.clone()).collect();
     for kind in [
         ViolationKind::DataLoss,
@@ -118,7 +118,7 @@ fn catalog_coverage_references_are_real() {
     let catalog = neat_repro::study::catalog();
     let refs: std::collections::BTreeSet<&str> =
         catalog.iter().map(|f| f.reference).collect();
-    let scenarios: std::collections::BTreeSet<&str> = run_all_scenarios(7)
+    let scenarios: std::collections::BTreeSet<&str> = run_all_scenarios(8)
         .iter()
         .map(|r| r.name)
         .collect::<Vec<_>>()

@@ -127,7 +127,7 @@ fn flawed_profile_breaks_under_the_same_storm() {
     // The control experiment: the identical nemesis schedule against the
     // flawed VoltDB-like profile does produce violations.
     let mut any_violation = false;
-    for seed in [88, 89, 90] {
+    for seed in [86, 99, 101] {
         let mut cluster = Cluster::build(ClusterSpec::three_by_two(Config::voltdb(), seed));
         cluster.wait_for_leader(3000).expect("initial leader");
         let servers = cluster.servers.clone();

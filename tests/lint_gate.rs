@@ -1,0 +1,61 @@
+//! Tier-1 gate: the workspace must stay clean under the determinism
+//! rules enforced by `crates/lint` (see DESIGN.md). This is the same
+//! scan `cargo run -p lint` performs, wired into `cargo test` so a
+//! violation fails CI even when nobody runs the binary.
+
+use std::path::Path;
+
+use lint::{scan_source, scan_workspace, Rule};
+
+#[test]
+fn workspace_is_clean_under_determinism_rules() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let findings = scan_workspace(root).expect("scan workspace");
+    assert!(
+        findings.is_empty(),
+        "determinism violations (fix or annotate with `// lint:allow(<rule>)`):\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn seeded_violations_are_caught_with_rule_and_line() {
+    let src = "\
+use std::collections::HashMap;
+
+fn bad(seed: u64) -> u64 {
+    let m: HashMap<u64, u64> = HashMap::new();
+    let t = std::time::Instant::now();
+    let mut rng = rand::thread_rng();
+    m.get(&seed).copied().unwrap()
+}
+";
+    let findings = scan_source("crates/repkv/src/fake.rs", src);
+    let hit = |rule: Rule, line: usize| {
+        assert!(
+            findings.iter().any(|f| f.rule == rule && f.line == line),
+            "expected {rule} at line {line}, got:\n{findings:#?}"
+        );
+    };
+    hit(Rule::HashIteration, 1);
+    hit(Rule::HashIteration, 4);
+    hit(Rule::WallClock, 5);
+    hit(Rule::OsEntropy, 6);
+    hit(Rule::UnwrapExpect, 7);
+}
+
+#[test]
+fn allow_directives_suppress_findings() {
+    let src = "\
+fn timed() {
+    // lint:allow(wall-clock) -- bench harness measures real time
+    let t = std::time::Instant::now();
+}
+";
+    let findings = scan_source("crates/repkv/src/fake.rs", src);
+    assert!(findings.is_empty(), "allow directive ignored:\n{findings:#?}");
+}
