@@ -1,7 +1,26 @@
 //! Runs the full NEAT campaign (§6.4): every scenario, flawed vs fixed,
 //! and the regenerated Table 15.
+//!
+//! With no arguments this prints the historical serial seed-8 campaign,
+//! byte-for-byte. `--jobs K` fans the scenarios across K fleet workers
+//! (same bytes for any K); `--seeds N` switches to the multi-seed sweep
+//! report; `--seed` moves the base seed. The flags and execution are
+//! shared with `cargo run -p fleet` via `fleet::cli`.
 
-fn main() {
-    let results = neat_repro::campaign::run_all_scenarios(8);
-    println!("{}", neat_repro::campaign::render(&results));
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let opts = match fleet::cli::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{}", fleet::cli::usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("campaign: {msg}\n{}", fleet::cli::usage());
+            return ExitCode::from(2);
+        }
+    };
+    println!("{}", fleet::cli::report(&opts));
+    ExitCode::SUCCESS
 }

@@ -3,171 +3,9 @@
 //! dirty read), Figure 3 (MapReduce double execution), Figure 5 (Ignite
 //! semaphore double locking), Figure 6 (ActiveMQ hang), plus the
 //! Finding-13 exploration experiment (the §5.4 testability claim).
-
-use neat::explore::{explore, Strategy};
-use simnet::{Application, Ctx, NodeId, TimerId, WorldBuilder};
-
-/// A do-nothing application for the Figure 1 connectivity demo.
-struct Idle;
-impl Application for Idle {
-    type Msg = ();
-    fn on_start(&mut self, _: &mut Ctx<'_, ()>) {}
-    fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {}
-    fn on_timer(&mut self, _: &mut Ctx<'_, ()>, _: TimerId, _: u64) {}
-}
-
-fn figure1() {
-    println!("== Figure 1: the three network-partitioning fault types ==\n");
-    let show = |title: &str, f: &dyn Fn(&mut neat::Neat<Idle>) -> neat::Partition| {
-        let mut engine = neat::Neat::new(WorldBuilder::new(1).build(5, |_| Idle));
-        let p = f(&mut engine);
-        println!("{title} (1 = i→j flows):");
-        println!("{}", engine.world.net().connectivity_matrix(5));
-        engine.heal(&p);
-        println!("after heal:");
-        println!("{}", engine.world.net().connectivity_matrix(5));
-    };
-    let g1 = [NodeId(0), NodeId(1)];
-    let g2 = [NodeId(2), NodeId(3), NodeId(4)];
-    show("(a) complete partition {0,1} | {2,3,4}", &|e| {
-        e.partition_complete(&g1, &g2)
-    });
-    let g2b = [NodeId(2), NodeId(3)];
-    show("(b) partial partition {0,1} | {2,3}; node 4 bridges", &|e| {
-        e.partition_partial(&g1, &g2b)
-    });
-    show("(c) simplex partition: {0,1} → {2,3,4} dropped", &|e| {
-        e.partition_simplex(&g1, &g2)
-    });
-}
-
-fn figure2() {
-    println!("== Figure 2: dirty read in VoltDB (ENG-10389) ==\n");
-    let out = repkv::scenarios::dirty_and_stale_read(repkv::Config::voltdb(), 7, true);
-    println!("{}", out.trace);
-    println!("history:\n{}", out.history);
-    for v in &out.violations {
-        println!("  VIOLATION: {v}");
-    }
-    let fixed = repkv::scenarios::dirty_and_stale_read(repkv::Config::fixed(), 7, false);
-    println!("  fixed profile violations: {}\n", fixed.violations.len());
-}
-
-fn figure3() {
-    println!("== Figure 3: MapReduce double execution (MAPREDUCE-4819) ==\n");
-    let (violations, trace) = sched::double_execution(
-        sched::MrFlaws {
-            relaunch_without_checking: true,
-        },
-        81,
-        true,
-    );
-    println!("{trace}");
-    for v in &violations {
-        println!("  VIOLATION: {v}");
-    }
-    let (fixed, _) = sched::double_execution(
-        sched::MrFlaws {
-            relaunch_without_checking: false,
-        },
-        81,
-        false,
-    );
-    println!("  fixed ResourceManager violations: {}\n", fixed.len());
-}
-
-fn figure5() {
-    println!("== Figure 5: Ignite semaphore double locking (IGNITE-8882) ==\n");
-    let out = gridstore::scenarios::semaphore_double_lock(gridstore::GridFlaws::flawed(), 61, true);
-    println!("{}", out.trace);
-    for v in &out.violations {
-        println!("  VIOLATION: {v}");
-    }
-    let fixed =
-        gridstore::scenarios::semaphore_double_lock(gridstore::GridFlaws::fixed(), 61, false);
-    println!(
-        "  with split-brain protection: {} violations\n",
-        fixed.violations.len()
-    );
-}
-
-fn figure6() {
-    println!("== Figure 6: ActiveMQ hangs under a partial partition (AMQ-7064) ==\n");
-    let out = mqueue::scenarios::fig6_hang(mqueue::BrokerFlaws::flawed(), 41, true);
-    println!("{}", out.trace);
-    for v in &out.violations {
-        println!("  VIOLATION: {v}");
-    }
-    let fixed = mqueue::scenarios::fig6_hang(mqueue::BrokerFlaws::fixed(), 41, false);
-    println!("  fixed brokers violations: {}\n", fixed.violations.len());
-}
-
-fn bounded_timing() {
-    println!("== §5.2: a bounded-timing failure — the fault must overlap a sync ==\n");
-    let flawed = coord::CoordFlaws {
-        apply_chunks_in_place: true,
-        ..coord::CoordFlaws::default()
-    };
-    let out = coord::scenarios::sync_interrupted_corruption(flawed, 57, true);
-    println!("{}", out.trace);
-    for v in &out.violations {
-        println!("  VIOLATION: {v}");
-    }
-    let fixed = coord::scenarios::sync_interrupted_corruption(coord::CoordFlaws::default(), 57, false);
-    println!(
-        "  atomic chunk installation (fixed): {} violations\n",
-        fixed.violations.len()
-    );
-}
-
-fn finding13() {
-    println!("== Finding 13 / §5.4: findings-guided vs naive random testing ==\n");
-    let trials = 40;
-    for (name, config) in [
-        ("VoltDB profile", repkv::Config::voltdb()),
-        ("Elasticsearch profile", repkv::Config::elasticsearch()),
-        ("fixed baseline", repkv::Config::fixed()),
-    ] {
-        let mut target = repkv::RepkvTarget::new(config);
-        let guided = explore(&mut target, &Strategy::findings_guided(), trials, 99);
-        let naive = explore(&mut target, &Strategy::naive(3), trials, 99);
-        println!(
-            "  {name:<24} guided: {:>2}/{trials} trials hit (first at #{:?})   naive: {:>2}/{trials}",
-            guided.trials_with_violation,
-            guided.first_violation_trial,
-            naive.trials_with_violation,
-        );
-    }
-    // The data grid gives the explorer the full Table 8 palette (locks,
-    // queues, counters).
-    for (name, flaws) in [
-        ("Ignite-like grid (flawed)", gridstore::GridFlaws::flawed()),
-        ("grid + protection (fixed)", gridstore::GridFlaws::fixed()),
-    ] {
-        let mut target = gridstore::GridTarget::new(flaws);
-        let guided = explore(&mut target, &Strategy::findings_guided(), trials, 99);
-        let naive = explore(&mut target, &Strategy::naive(3), trials, 99);
-        println!(
-            "  {name:<24} guided: {:>2}/{trials} trials hit (first at #{:?})   naive: {:>2}/{trials}",
-            guided.trials_with_violation,
-            guided.first_violation_trial,
-            naive.trials_with_violation,
-        );
-    }
-    println!(
-        "\n  Shape check: guided >> naive on flawed profiles, both zero on the fixed\n  \
-         baseline — the paper's testability claim (93% reproducible via guided tests)."
-    );
-}
+//! Thin wrapper over [`bench::reports::figures_report`] so the
+//! golden-file test regenerates the identical bytes in-process.
 
 fn main() {
-    figure1();
-    figure2();
-    figure3();
-    figure5();
-    figure6();
-    bounded_timing();
-    finding13();
-    println!("(Figure 4 — the NEAT architecture — is this framework itself; its \
-              overhead is measured by `cargo bench -p bench`.)");
+    print!("{}", bench::reports::figures_report());
 }

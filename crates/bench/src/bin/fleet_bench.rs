@@ -1,0 +1,30 @@
+//! Measures the fleet runner and writes `BENCH_fleet.json` at the repo
+//! root: multi-seed campaign sweep wall-clock at each rung of a jobs
+//! ladder, speedup vs serial, byte-identity of every parallel run, and
+//! the same for an exploration sweep.
+//!
+//! ```text
+//! cargo run --release -p bench --bin fleet_bench            # writes BENCH_fleet.json
+//! cargo run --release -p bench --bin fleet_bench -- --print # stdout only
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let print_only = std::env::args().any(|a| a == "--print");
+    let bench = bench::fleet_bench::measure(8, &[1, 2, 4, 8]);
+    let json = bench.to_pretty_json();
+    if print_only {
+        print!("{json}");
+        return ExitCode::SUCCESS;
+    }
+    // The manifest dir is crates/bench; the artifact lives at the root.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("fleet_bench: cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {path}");
+    print!("{json}");
+    ExitCode::SUCCESS
+}

@@ -1,97 +1,18 @@
 //! Regenerates every table of the paper's evaluation (Tables 1–13 and the
 //! headline findings), printing the published value next to the value
-//! recomputed from the catalog.
-
-use study::{catalog, stats, PartitionType, Source, Timing};
-
-fn render_appendix() {
-    println!("Table 14/15 — the failure catalog (appendix fields as transcribed)");
-    println!(
-        "  {:>3} {:<15} {:<8} {:<7} {:<30} {:<9} {:<14}",
-        "id", "system", "source", "ref", "impact", "partition", "timing"
-    );
-    for f in catalog() {
-        let source = match f.source {
-            Source::IssueTracker => "tracker",
-            Source::Jepsen => "jepsen",
-            Source::Neat => "NEAT",
-        };
-        let partition = match f.partition {
-            PartitionType::Complete => "complete",
-            PartitionType::Partial => "partial",
-            PartitionType::Simplex => "simplex",
-        };
-        let timing = match f.timing {
-            Timing::Deterministic => "deterministic",
-            Timing::Fixed => "fixed",
-            Timing::Bounded => "bounded",
-            Timing::Unknown => "unknown",
-        };
-        println!(
-            "  {:>3} {:<15} {:<8} {:<7} {:<30} {:<9} {:<14}",
-            f.id,
-            f.system.name(),
-            source,
-            f.reference,
-            f.impact.label(),
-            partition,
-            timing
-        );
-    }
-    println!();
-}
+//! recomputed from the catalog. Thin wrapper over
+//! [`bench::reports::tables_report`] so the golden-file test regenerates
+//! the identical bytes in-process.
 
 fn main() -> std::process::ExitCode {
-    println!("== An Analysis of Network-Partitioning Failures in Cloud Systems ==");
-    println!("== Table regeneration: paper vs this reproduction ==\n");
-
-    // Table 1 has a different shape (absolute counts per system).
-    println!("Table 1 — List of studied systems");
-    println!(
-        "  {:<15} {:<16} {:>8} {:>8} {:>10} {:>10}",
-        "system", "consistency", "paper#", "ours#", "paper-cat", "ours-cat"
-    );
-    let mut totals = (0, 0, 0, 0);
-    for (s, consistency, pt, t, pc, c) in stats::table1() {
-        println!(
-            "  {:<15} {:<16} {:>8} {:>8} {:>10} {:>10}",
-            s.name(),
-            consistency,
-            pt,
-            t,
-            pc,
-            c
-        );
-        totals = (totals.0 + pt, totals.1 + t, totals.2 + pc, totals.3 + c);
+    match bench::reports::tables_report() {
+        Ok(out) => {
+            print!("{out}");
+            std::process::ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::ExitCode::FAILURE
+        }
     }
-    println!(
-        "  {:<15} {:<16} {:>8} {:>8} {:>10} {:>10}\n",
-        "Total", "-", totals.0, totals.1, totals.2, totals.3
-    );
-
-    for t in stats::all_tables() {
-        println!("{}", t.render());
-    }
-
-    let (_, design_days, impl_days) = stats::table12();
-    println!(
-        "Table 12 resolution times: design {design_days:.0} days (paper: 205), \
-         implementation {impl_days:.0} days (paper: 81)\n"
-    );
-
-    render_appendix();
-
-    let Some(worst) = stats::all_tables()
-        .into_iter()
-        .map(|t| (t.id, t.max_delta()))
-        .max_by(|a, b| a.1.total_cmp(&b.1))
-    else {
-        eprintln!("tables: statistics engine produced no tables");
-        return std::process::ExitCode::FAILURE;
-    };
-    println!(
-        "largest paper-vs-measured delta across all tables: {:.1} points ({})",
-        worst.1, worst.0
-    );
-    std::process::ExitCode::SUCCESS
 }

@@ -1,0 +1,208 @@
+//! Serial-vs-parallel wall-clock measurement for the fleet runner.
+//!
+//! Produces the numbers behind `BENCH_fleet.json` at the repo root: a
+//! multi-seed campaign sweep run at each rung of a jobs ladder, the
+//! speedup relative to the serial run, and — the property that actually
+//! matters — whether every parallel rendering was byte-identical to the
+//! serial one. An exploration sweep (`neat::explore` fanned across seeds)
+//! is measured the same way.
+//!
+//! Wall-clock time is banned workspace-wide by the determinism lint
+//! because it must never influence a *simulation*; this module is the one
+//! audited exception, and only ever measures, never steers.
+
+use std::fmt::Write as _;
+
+use neat::explore::Strategy;
+
+/// Runs `f` once and returns its result plus elapsed wall-clock ns.
+#[allow(clippy::disallowed_types)]
+fn time_ns<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    // lint:allow(wall-clock) -- bench measurement only; never read inside a simulation
+    let start = std::time::Instant::now();
+    let out = f();
+    (out, start.elapsed().as_nanos() as u64)
+}
+
+/// One rung of the jobs ladder.
+#[derive(Clone, Debug)]
+pub struct JobsMeasurement {
+    pub jobs: usize,
+    pub wall_clock_ns: u64,
+    /// Serial wall-clock divided by this rung's wall-clock.
+    pub speedup: f64,
+    /// Whether this rung's rendered report matched the serial bytes.
+    pub byte_identical: bool,
+}
+
+/// The exploration sweep measured serial vs at the ladder's top rung.
+#[derive(Clone, Debug)]
+pub struct ExploreMeasurement {
+    pub seeds: usize,
+    pub trials: usize,
+    pub jobs: usize,
+    pub serial_wall_clock_ns: u64,
+    pub parallel_wall_clock_ns: u64,
+    pub speedup: f64,
+    /// Whether the parallel per-seed reports matched the serial ones.
+    pub identical: bool,
+}
+
+/// Everything `BENCH_fleet.json` records.
+#[derive(Clone, Debug)]
+pub struct FleetBench {
+    pub scenarios: usize,
+    pub arms: usize,
+    pub seeds: usize,
+    /// `std::thread::available_parallelism()` on the measuring machine —
+    /// speedups only make sense relative to this.
+    pub machine_workers: usize,
+    pub campaign: Vec<JobsMeasurement>,
+    pub explore: ExploreMeasurement,
+}
+
+/// Measures a multi-seed campaign sweep at each rung of `jobs_ladder`
+/// (the first rung is forced to 1 as the serial baseline) plus an
+/// exploration sweep, over `seed_count` seeds starting at the default
+/// campaign seed.
+pub fn measure(seed_count: usize, jobs_ladder: &[usize]) -> FleetBench {
+    let opts = fleet::cli::Opts {
+        seeds: Some(seed_count),
+        ..fleet::cli::Opts::default()
+    };
+    let seeds = fleet::cli::sweep_seeds(&opts);
+
+    let (serial, serial_ns) = time_ns(|| fleet::campaign::sweep(&seeds, 1));
+    let serial_bytes = neat_repro::campaign::render_sweep(&serial);
+    let mut campaign = vec![JobsMeasurement {
+        jobs: 1,
+        wall_clock_ns: serial_ns,
+        speedup: 1.0,
+        byte_identical: true,
+    }];
+    for &jobs in jobs_ladder.iter().filter(|&&j| j > 1) {
+        let (report, ns) = time_ns(|| fleet::campaign::sweep(&seeds, jobs));
+        campaign.push(JobsMeasurement {
+            jobs,
+            wall_clock_ns: ns,
+            speedup: serial_ns as f64 / ns.max(1) as f64,
+            byte_identical: neat_repro::campaign::render_sweep(&report) == serial_bytes,
+        });
+    }
+
+    let trials = 40;
+    let top_jobs = jobs_ladder.iter().copied().max().unwrap_or(1).max(2);
+    let strategy = Strategy::findings_guided();
+    let run_explore = |jobs: usize| {
+        fleet::explore::explore_sweep(
+            jobs,
+            &seeds,
+            || repkv::RepkvTarget::new(repkv::Config::voltdb()),
+            &strategy,
+            trials,
+        )
+    };
+    let (serial_reports, explore_serial_ns) = time_ns(|| run_explore(1));
+    let (parallel_reports, explore_parallel_ns) = time_ns(|| run_explore(top_jobs));
+    let identical = serial_reports
+        .iter()
+        .zip(parallel_reports.iter())
+        .all(|(a, b)| {
+            a.trials == b.trials
+                && a.trials_with_violation == b.trials_with_violation
+                && a.first_violation_trial == b.first_violation_trial
+        })
+        && serial_reports.len() == parallel_reports.len();
+
+    FleetBench {
+        scenarios: neat_repro::campaign::scenario_count(),
+        arms: neat_repro::campaign::arm_ids().len(),
+        seeds: seeds.len(),
+        machine_workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        campaign,
+        explore: ExploreMeasurement {
+            seeds: seeds.len(),
+            trials,
+            jobs: top_jobs,
+            serial_wall_clock_ns: explore_serial_ns,
+            parallel_wall_clock_ns: explore_parallel_ns,
+            speedup: explore_serial_ns as f64 / explore_parallel_ns.max(1) as f64,
+            identical,
+        },
+    }
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    // Three decimals is plenty for a speedup ratio and keeps the JSON
+    // free of float noise.
+    let _ = write!(out, "{v:.3}");
+}
+
+impl FleetBench {
+    /// Compact JSON, field order fixed by this function.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"bench\":\"fleet\"");
+        let _ = write!(
+            out,
+            ",\"scenarios\":{},\"arms\":{},\"seeds\":{},\"machine_workers\":{}",
+            self.scenarios, self.arms, self.seeds, self.machine_workers
+        );
+        out.push_str(",\"campaign\":[");
+        for (i, m) in self.campaign.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"jobs\":{},\"wall_clock_ns\":{},\"speedup\":",
+                m.jobs, m.wall_clock_ns
+            );
+            push_f64(&mut out, m.speedup);
+            let _ = write!(out, ",\"byte_identical\":{}}}", m.byte_identical);
+        }
+        out.push_str("],\"explore\":{");
+        let _ = write!(
+            out,
+            "\"seeds\":{},\"trials\":{},\"jobs\":{},\"serial_wall_clock_ns\":{},\
+             \"parallel_wall_clock_ns\":{},\"speedup\":",
+            self.explore.seeds,
+            self.explore.trials,
+            self.explore.jobs,
+            self.explore.serial_wall_clock_ns,
+            self.explore.parallel_wall_clock_ns,
+        );
+        push_f64(&mut out, self.explore.speedup);
+        let _ = write!(out, ",\"identical\":{}}}", self.explore.identical);
+        out.push('}');
+        out
+    }
+
+    /// The pretty form written to `BENCH_fleet.json`.
+    pub fn to_pretty_json(&self) -> String {
+        format!("{}\n", study::json::pretty(&self.to_json()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_reports_identical_parallel_runs() {
+        // Tiny configuration: 2 seeds, ladder [1, 2]. The point is the
+        // equivalence bits and the schema, not the timings.
+        let b = measure(2, &[1, 2]);
+        assert_eq!(b.scenarios, neat_repro::campaign::scenario_count());
+        assert_eq!(b.seeds, 2);
+        assert!(b.campaign.iter().all(|m| m.byte_identical));
+        assert!(b.explore.identical);
+        let json = b.to_json();
+        assert!(json.contains("\"bench\":\"fleet\""), "{json}");
+        assert!(json.contains("\"machine_workers\":"), "{json}");
+        assert!(json.contains("\"byte_identical\":true"), "{json}");
+        // Pretty form round-trips the same keys.
+        let pretty = b.to_pretty_json();
+        assert!(pretty.contains("\"speedup\": "), "{pretty}");
+        assert!(pretty.ends_with('\n'));
+    }
+}

@@ -13,6 +13,16 @@
 //! The Criterion benches (`cargo bench -p bench`) measure framework
 //! overhead (Figure 4's architecture), scenario runtimes (flawed vs fixed),
 //! and the exploration strategies' bug-finding efficiency.
+//!
+//! The binaries are thin wrappers over [`reports`] so the golden-file
+//! tests (`tests/golden_outputs.rs` at the workspace root) can regenerate
+//! the committed artifacts — `campaign_output.txt`, `tables_output.txt`,
+//! `figures_output.txt` — and diff them without spawning processes;
+//! [`fleet_bench`] is the serial-vs-parallel wall-clock measurement
+//! behind `BENCH_fleet.json` (`cargo run -p bench --bin fleet_bench`).
+
+pub mod fleet_bench;
+pub mod reports;
 
 /// Renders a horizontal bar for quick shape comparison in terminal output.
 pub fn bar(pct: f64) -> String {

@@ -1,0 +1,104 @@
+//! Campaign drivers: the registry and the auditor, fanned over the pool.
+//!
+//! Work items are addresses into `neat_repro::campaign::registry()` —
+//! scenario indices, [`ArmId`]s, or (scenario, seed) pairs — never the
+//! boxed runner closures themselves (those are not `Send`). Each worker
+//! rebuilds the registry locally and executes its item as a normal
+//! single-threaded deterministic simulation; the reduce step orders
+//! results by item index, so every function here is byte-identical to its
+//! serial counterpart for any `jobs`.
+
+use neat::audit::{audit_double_run, AuditOutcome};
+use neat_repro::campaign::{
+    arm_ids, run_arm, run_scenario_at, scenario_count, ScenarioResult, SweepReport,
+};
+
+use crate::pool;
+
+/// Parallel [`neat_repro::campaign::run_all_scenarios`]: the full campaign
+/// at one seed, sharded by scenario.
+pub fn run_all(seed: u64, jobs: usize) -> Vec<ScenarioResult> {
+    pool::map(jobs, scenario_count(), |i| run_scenario_at(i, seed))
+}
+
+/// The full campaign at every seed of `seeds`, sharded by
+/// (seed, scenario) pair and merged back into per-seed runs.
+pub fn sweep(seeds: &[u64], jobs: usize) -> SweepReport {
+    let n = scenario_count();
+    let flat = pool::map(jobs, n * seeds.len(), |k| {
+        run_scenario_at(k % n, seeds[k / n])
+    });
+    let mut runs: Vec<Vec<ScenarioResult>> = Vec::with_capacity(seeds.len());
+    let mut rest = flat;
+    for _ in 0..seeds.len() {
+        let tail = rest.split_off(n);
+        runs.push(rest);
+        rest = tail;
+    }
+    SweepReport::from_runs(seeds.to_vec(), &runs)
+}
+
+/// Parallel [`neat_repro::campaign::scenario_fingerprints`]: every arm
+/// run with trace recording on, sharded by arm.
+pub fn fingerprints(seed: u64, jobs: usize) -> Vec<(String, String)> {
+    let arms = arm_ids();
+    pool::map(jobs, arms.len(), |i| {
+        let arm = &arms[i];
+        (arm.name.clone(), run_arm(arm, seed, true).fingerprint)
+    })
+}
+
+/// The double-run trace audit (`lint --audit`), sharded by arm: each
+/// worker runs its arm twice at `seed` and compares fingerprints.
+/// Outcomes come back in registry order, so the auditor's output is
+/// byte-identical to the serial audit for any `jobs`.
+pub fn audit(seed: u64, jobs: usize) -> Vec<AuditOutcome> {
+    let arms = arm_ids();
+    pool::map(jobs, arms.len(), |i| {
+        let arm = &arms[i];
+        AuditOutcome {
+            name: arm.name.clone(),
+            result: audit_double_run(&arm.name, seed, |s| run_arm(arm, s, true).fingerprint),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neat_repro::campaign::{render, run_all_scenarios, scenario_fingerprints};
+
+    #[test]
+    fn run_all_matches_serial_for_several_job_counts() {
+        let serial = render(&run_all_scenarios(8));
+        for jobs in [1, 3, 8] {
+            assert_eq!(render(&run_all(8, jobs)), serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn fingerprints_match_the_serial_sweep() {
+        assert_eq!(fingerprints(5, 4), scenario_fingerprints(5));
+    }
+
+    #[test]
+    fn sweep_chunks_runs_per_seed() {
+        let seeds = [8u64, 9];
+        let report = sweep(&seeds, 4);
+        assert_eq!(report.seeds, seeds);
+        assert_eq!(report.scenarios.len(), scenario_count());
+        for s in &report.scenarios {
+            assert_eq!(s.detected.len(), seeds.len());
+        }
+    }
+
+    #[test]
+    fn audit_covers_every_arm_in_order() {
+        let outcomes = audit(42, 2);
+        let arms = arm_ids();
+        assert_eq!(outcomes.len(), arms.len());
+        for (o, a) in outcomes.iter().zip(arms.iter()) {
+            assert_eq!(o.name, a.name);
+        }
+    }
+}

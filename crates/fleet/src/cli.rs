@@ -1,0 +1,128 @@
+//! Shared CLI for the campaign runners.
+//!
+//! Both `cargo run -p fleet` and `cargo run -p bench --bin campaign`
+//! parse and execute through this module, so their outputs are
+//! byte-identical by construction: same defaults (seed 8, serial, single
+//! seed — the pre-fleet campaign behaviour), same report text for any
+//! `--jobs`.
+
+use neat_repro::campaign::{render, render_sweep};
+
+/// Parsed options for a campaign run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Opts {
+    /// Base seed (`--seed`, default 8 — the historical campaign seed).
+    pub seed: u64,
+    /// Sweep width (`--seeds N`): run seeds `seed..seed+N` and report the
+    /// multi-seed sweep instead of the single-seed campaign table.
+    pub seeds: Option<usize>,
+    /// Worker count (`--jobs`, default 1 = serial).
+    pub jobs: usize,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            seed: 8,
+            seeds: None,
+            jobs: 1,
+        }
+    }
+}
+
+pub fn usage() -> &'static str {
+    "usage: [--seed <n>] [--seeds <count>] [--jobs <k>]\n\
+     \n\
+     Default: the full campaign at seed 8, serially — byte-identical to\n\
+     the historical `campaign` output. --jobs K fans scenarios across K\n\
+     workers (output unchanged for any K). --seeds N runs the campaign at\n\
+     N consecutive seeds and reports per-scenario detection rates, the\n\
+     live Table 11 deterministic/nondeterministic split, and the\n\
+     detection-probability curve."
+}
+
+/// Parses CLI arguments (exclusive of the binary name). An empty error
+/// string means `--help` was requested.
+pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Opts, String> {
+    let mut opts = Opts::default();
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let n = args.next().ok_or("--seed requires a number")?;
+                opts.seed = n.parse().map_err(|_| format!("invalid seed `{n}`"))?;
+            }
+            "--seeds" => {
+                let n = args.next().ok_or("--seeds requires a count")?;
+                let count: usize = n.parse().map_err(|_| format!("invalid seed count `{n}`"))?;
+                if count == 0 {
+                    return Err("--seeds must be at least 1".to_string());
+                }
+                opts.seeds = Some(count);
+            }
+            "--jobs" => {
+                let n = args.next().ok_or("--jobs requires a worker count")?;
+                let jobs: usize = n.parse().map_err(|_| format!("invalid job count `{n}`"))?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+                opts.jobs = jobs;
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// The seeds a sweep covers: `seed..seed+N`.
+pub fn sweep_seeds(opts: &Opts) -> Vec<u64> {
+    let n = opts.seeds.unwrap_or(1) as u64;
+    (opts.seed..opts.seed + n).collect()
+}
+
+/// Executes the campaign described by `opts` and renders the report —
+/// the exact stdout (minus the trailing newline `println!` adds) of both
+/// campaign binaries.
+pub fn report(opts: &Opts) -> String {
+    match opts.seeds {
+        None => render(&crate::campaign::run_all(opts.seed, opts.jobs)),
+        Some(_) => render_sweep(&crate::campaign::sweep(&sweep_seeds(opts), opts.jobs)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_preserve_the_historical_campaign() {
+        let opts = parse(args(&[])).expect("no args parse");
+        assert_eq!(opts, Opts { seed: 8, seeds: None, jobs: 1 });
+    }
+
+    #[test]
+    fn all_flags_parse() {
+        let opts = parse(args(&["--seed", "3", "--seeds", "5", "--jobs", "4"])).expect("parse");
+        assert_eq!(opts.seed, 3);
+        assert_eq!(opts.seeds, Some(5));
+        assert_eq!(opts.jobs, 4);
+        assert_eq!(sweep_seeds(&opts), vec![3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn zero_jobs_and_zero_seeds_are_rejected() {
+        assert!(parse(args(&["--jobs", "0"])).is_err());
+        assert!(parse(args(&["--seeds", "0"])).is_err());
+        assert!(parse(args(&["--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn help_is_the_empty_error() {
+        assert_eq!(parse(args(&["--help"])), Err(String::new()));
+    }
+}

@@ -1,0 +1,55 @@
+//! Exploration fan-out: `neat::explore` campaigns across many seeds.
+//!
+//! A single `explore()` call is a serial loop of generated trials. The
+//! paper's §5.4 testability claim is statistical — detection *probability*
+//! per test budget — so tightening it means many independent exploration
+//! runs at different seeds. Each seed is one work item; reports come back
+//! in seed order and merge deterministically via
+//! [`neat::explore::merge_reports`].
+
+use neat::explore::{explore, ExplorationReport, Strategy, TestTarget};
+
+use crate::pool;
+
+/// Runs `explore` once per seed, in parallel, returning per-seed reports
+/// in seed order. `make_target` builds a fresh target per worker run, so
+/// no simulation state crosses threads.
+pub fn explore_sweep<T, F>(
+    jobs: usize,
+    seeds: &[u64],
+    make_target: F,
+    strategy: &Strategy,
+    trials: usize,
+) -> Vec<ExplorationReport>
+where
+    T: TestTarget,
+    F: Fn() -> T + Sync,
+{
+    pool::map(jobs, seeds.len(), |i| {
+        let mut target = make_target();
+        explore(&mut target, strategy, trials, seeds[i])
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neat::explore::merge_reports;
+
+    #[test]
+    fn sweep_is_jobs_invariant_and_merges_like_serial() {
+        let seeds: Vec<u64> = (0..6).collect();
+        let strategy = Strategy::findings_guided();
+        let make = || repkv::RepkvTarget::new(repkv::Config::voltdb());
+        let serial = explore_sweep(1, &seeds, make, &strategy, 10);
+        let parallel = explore_sweep(4, &seeds, make, &strategy, 10);
+        for (a, b) in serial.iter().zip(parallel.iter()) {
+            assert_eq!(a.trials, b.trials);
+            assert_eq!(a.trials_with_violation, b.trials_with_violation);
+            assert_eq!(a.first_violation_trial, b.first_violation_trial);
+            assert_eq!(a.kinds, b.kinds);
+        }
+        let merged = merge_reports(&parallel);
+        assert_eq!(merged.trials, 60);
+    }
+}

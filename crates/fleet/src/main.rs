@@ -1,0 +1,28 @@
+//! CLI for the fleet runner.
+//!
+//! ```text
+//! cargo run --release -p fleet                      # serial campaign, seed 8
+//! cargo run --release -p fleet -- --jobs 4          # same bytes, 4 workers
+//! cargo run --release -p fleet -- --seeds 16        # multi-seed sweep
+//! cargo run --release -p fleet -- --seeds 16 --jobs 8
+//! ```
+//!
+//! Exit codes: `0` success, `2` usage error.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let opts = match fleet::cli::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{}", fleet::cli::usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("fleet: {msg}\n{}", fleet::cli::usage());
+            return ExitCode::from(2);
+        }
+    };
+    println!("{}", fleet::cli::report(&opts));
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,109 @@
+//! The worker pool: a deterministic parallel `map` over indexed work.
+//!
+//! Every simulation in the workspace is single-threaded and a pure
+//! function of its seed (enforced by `crates/lint` and the double-run
+//! auditor). That makes campaign execution embarrassingly parallel: work
+//! items are *indices* into a deterministic work list, workers race only
+//! over *which* item they pull next, and the reduce step restores index
+//! order — so the merged result is byte-identical for any worker count.
+//!
+//! This module is the **only** place in the workspace allowed to start OS
+//! threads. Each `lint:allow(thread-spawn)` below is an audited exception;
+//! the scanner refuses the same directive anywhere outside `crates/fleet`
+//! (see `lint::scan`), so simulation crates stay single-threaded by
+//! construction.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every index in `0..n` using up to `jobs` worker
+/// threads and returns the results in index order.
+///
+/// Scheduling is dynamic (an atomic cursor hands out the next index), so
+/// which worker computes which item varies run to run — but `f` must be a
+/// pure function of its index, and the index-sorted reduce makes the
+/// output independent of that scheduling. `jobs <= 1` degenerates to a
+/// plain serial loop with no threads at all.
+///
+/// Panics in `f` propagate: the scope joins every worker first, so no
+/// work is silently dropped.
+pub fn map<T, F>(jobs: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = jobs.max(1).min(n.max(1));
+    if jobs <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let merged: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+    // The audited orchestration boundary: scoped workers execute
+    // single-threaded deterministic simulations in parallel.
+    #[allow(clippy::disallowed_methods)]
+    // lint:allow(thread-spawn) -- audited: deterministic index-sorted reduce
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            // lint:allow(thread-spawn) -- audited worker of the fleet pool
+            scope.spawn(|| {
+                let mut local: Vec<(usize, T)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, f(i)));
+                }
+                match merged.lock() {
+                    Ok(mut all) => all.extend(local),
+                    // A sibling worker panicked while merging; the scope
+                    // will re-raise its panic once all workers join.
+                    Err(poisoned) => poisoned.into_inner().extend(local),
+                }
+            });
+        }
+    });
+
+    let mut all = match merged.into_inner() {
+        Ok(v) => v,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    all.sort_by_key(|&(i, _)| i);
+    assert_eq!(all.len(), n, "fleet reduce lost work items");
+    all.into_iter().map(|(_, v)| v).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_index_order_for_any_jobs() {
+        let serial: Vec<usize> = (0..97).map(|i| i * i).collect();
+        for jobs in [1, 2, 4, 8, 16] {
+            assert_eq!(map(jobs, 97, |i| i * i), serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn zero_items_is_empty() {
+        assert_eq!(map(4, 0, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn more_jobs_than_items_still_covers_everything() {
+        assert_eq!(map(64, 3, |i| i + 1), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn single_job_spawns_no_threads_and_matches() {
+        assert_eq!(map(1, 5, |i| i * 2), vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn results_are_values_not_indices() {
+        let out = map(4, 10, |i| format!("item-{i}"));
+        assert_eq!(out[7], "item-7");
+    }
+}

@@ -5,6 +5,7 @@
 //! cargo run -p lint -- --json      # same, machine-readable findings
 //! cargo run -p lint -- --audit     # dynamic double-run trace audit
 //! cargo run -p lint -- --audit --seed 7
+//! cargo run -p lint -- --audit --jobs 4   # fleet-sharded, same bytes
 //! cargo run -p lint -- --root /path/to/tree
 //! ```
 //!
@@ -19,16 +20,18 @@ struct Opts {
     audit: bool,
     root: Option<PathBuf>,
     seed: u64,
+    jobs: usize,
 }
 
 fn usage() -> &'static str {
-    "usage: lint [--json] [--root <dir>] [--audit] [--seed <n>]\n\
+    "usage: lint [--json] [--root <dir>] [--audit] [--seed <n>] [--jobs <k>]\n\
      \n\
      Default mode scans every .rs file under the workspace for the\n\
      determinism rules (hash-iteration, wall-clock, os-entropy,\n\
      thread-spawn, unsafe-code, unwrap-expect). --audit instead runs\n\
      every registered scenario twice with the same seed and compares\n\
-     the execution fingerprints."
+     the execution fingerprints; --jobs K shards the audit across K\n\
+     fleet workers with byte-identical output."
 }
 
 fn parse_args() -> Result<Opts, String> {
@@ -37,6 +40,7 @@ fn parse_args() -> Result<Opts, String> {
         audit: false,
         root: None,
         seed: 42,
+        jobs: 1,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -50,6 +54,14 @@ fn parse_args() -> Result<Opts, String> {
             "--seed" => {
                 let n = args.next().ok_or("--seed requires a number")?;
                 opts.seed = n.parse().map_err(|_| format!("invalid seed `{n}`"))?;
+            }
+            "--jobs" => {
+                let n = args.next().ok_or("--jobs requires a worker count")?;
+                let jobs: usize = n.parse().map_err(|_| format!("invalid job count `{n}`"))?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+                opts.jobs = jobs;
             }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
@@ -96,28 +108,20 @@ fn run_scan(opts: &Opts) -> ExitCode {
 }
 
 fn run_audit(opts: &Opts) -> ExitCode {
-    let seed = opts.seed;
-    let mut arms = 0usize;
+    let outcomes = fleet::campaign::audit(opts.seed, opts.jobs);
     let mut failures = 0usize;
-    for spec in neat_repro::campaign::registry() {
-        let mut audit_arm = |arm: &str, run: &neat_repro::campaign::Runner| {
-            arms += 1;
-            let name = format!("{}/{arm}", spec.name);
-            match neat::audit::audit_double_run(&name, seed, |s| run(s, true).fingerprint) {
-                Ok(hash) => println!("audit {name}: ok {hash:016x}"),
-                Err(d) => {
-                    eprintln!("audit FAILED: {d}");
-                    failures += 1;
-                }
-            }
-        };
-        audit_arm("flawed", &spec.flawed);
-        if let Some(fixed) = &spec.fixed {
-            audit_arm("fixed", fixed);
+    for outcome in &outcomes {
+        if outcome.is_ok() {
+            println!("{}", outcome.render());
+        } else {
+            eprintln!("{}", outcome.render());
+            failures += 1;
         }
     }
     println!(
-        "audit: {arms} scenario arm(s) double-run with seed {seed}, {failures} divergence(s)"
+        "audit: {} scenario arm(s) double-run with seed {}, {failures} divergence(s)",
+        outcomes.len(),
+        opts.seed
     );
     if failures == 0 {
         ExitCode::SUCCESS

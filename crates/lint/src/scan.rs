@@ -25,8 +25,11 @@ pub enum Rule {
     /// `thread_rng`, `OsRng`, `from_entropy`, `getrandom`, `rand::random`:
     /// OS entropy makes runs unrepeatable. Seed a `StdRng` explicitly.
     OsEntropy,
-    /// `thread::spawn`: OS scheduling is nondeterministic; the simulator
-    /// is single-threaded by design.
+    /// `thread::spawn`, `thread::scope`, `thread::Builder`, and `.spawn()`
+    /// calls: OS scheduling is nondeterministic; the simulator is
+    /// single-threaded by design. `lint:allow(thread-spawn)` is honored
+    /// only inside `crates/fleet` (the audited orchestration layer, which
+    /// parallelizes *whole* deterministic runs) and test-like directories.
     ThreadSpawn,
     /// `unsafe` anywhere in the workspace.
     UnsafeCode,
@@ -104,6 +107,9 @@ struct FileClass {
     strict: bool,
     /// Under a `tests/`, `benches/`, or `examples/` directory.
     test_like: bool,
+    /// Inside `crates/fleet` — the audited orchestration layer, the one
+    /// crate whose `lint:allow(thread-spawn)` directives are honored.
+    orchestration: bool,
 }
 
 fn classify(rel_path: &str) -> FileClass {
@@ -114,7 +120,12 @@ fn classify(rel_path: &str) -> FileClass {
     let test_like = rel_path
         .split('/')
         .any(|seg| seg == "tests" || seg == "benches" || seg == "examples");
-    FileClass { strict, test_like }
+    let orchestration = rel_path.starts_with("crates/fleet/");
+    FileClass {
+        strict,
+        test_like,
+        orchestration,
+    }
 }
 
 /// One source line after comment/literal stripping.
@@ -381,6 +392,13 @@ pub fn scan_source(rel_path: &str, source: &str) -> Vec<Finding> {
     let mut findings: Vec<Finding> = Vec::new();
 
     let allowed = |line: usize, rule: Rule| {
+        // Thread-spawn escapes are scoped: only the fleet orchestration
+        // crate (and test-like dirs) may annotate audited exceptions. A
+        // `lint:allow(thread-spawn)` in a simulation crate is ignored, so
+        // the single-threaded guarantee cannot be waived where it matters.
+        if rule == Rule::ThreadSpawn && !class.orchestration && !class.test_like {
+            return false;
+        }
         cleaned
             .allows
             .iter()
@@ -405,7 +423,10 @@ pub fn scan_source(rel_path: &str, source: &str) -> Vec<Finding> {
         let line = idx + 1;
         let text = cl.text.as_str();
 
-        if text.contains("thread::spawn") {
+        if text.contains("thread::spawn")
+            || text.contains("thread::scope")
+            || text.contains("thread::Builder")
+        {
             push(
                 line,
                 Rule::ThreadSpawn,
@@ -451,6 +472,15 @@ pub fn scan_source(rel_path: &str, source: &str) -> Vec<Finding> {
                         "`{ident}` iteration order is nondeterministic in simulation code; \
                          use BTreeMap/BTreeSet or sort before iterating"
                     ),
+                );
+            }
+            if ident == "spawn" && prev_non_ws == Some('.') {
+                push(
+                    line,
+                    Rule::ThreadSpawn,
+                    "`.spawn()`: scoped/builder spawns are still OS threads; the simulator \
+                     is single-threaded"
+                        .to_string(),
                 );
             }
             if class.strict
@@ -665,6 +695,30 @@ mod tests {
         let fs = scan_source(LOOSE_FILE, src);
         assert!(fs.iter().any(|f| f.rule == Rule::UnsafeCode), "{fs:?}");
         assert!(fs.iter().any(|f| f.rule == Rule::ThreadSpawn), "{fs:?}");
+    }
+
+    #[test]
+    fn scoped_and_builder_spawns_fire() {
+        let src = "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }\n";
+        let fs = scan_source(LOOSE_FILE, src);
+        assert_eq!(rules(&fs), vec![Rule::ThreadSpawn], "{fs:?}");
+        let src = "fn g() { std::thread::Builder::new(); }\n";
+        assert_eq!(rules(&scan_source(LOOSE_FILE, src)), vec![Rule::ThreadSpawn]);
+        let src = "fn h() { builder.spawn(work)?; }\n";
+        assert_eq!(rules(&scan_source(LOOSE_FILE, src)), vec![Rule::ThreadSpawn]);
+    }
+
+    #[test]
+    fn thread_spawn_allows_are_scoped_to_the_fleet_crate() {
+        let src = "// lint:allow(thread-spawn)\nfn f() { std::thread::spawn(|| {}); }\n";
+        // The orchestration crate may annotate audited exceptions…
+        assert!(scan_source("crates/fleet/src/pool.rs", src).is_empty());
+        // …and test-like dirs keep the escape hatch…
+        assert!(scan_source("crates/simnet/tests/t.rs", src).is_empty());
+        // …but the same directive inside a simulation crate is ignored.
+        assert_eq!(rules(&scan_source(STRICT_FILE, src)), vec![Rule::ThreadSpawn]);
+        assert_eq!(rules(&scan_source(LOOSE_FILE, src)), vec![Rule::ThreadSpawn]);
+        assert_eq!(rules(&scan_source("src/campaign.rs", src)), vec![Rule::ThreadSpawn]);
     }
 
     #[test]

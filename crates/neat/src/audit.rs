@@ -79,6 +79,32 @@ pub fn compare_runs(scenario: &str, seed: u64, a: &str, b: &str) -> Option<Diver
     })
 }
 
+/// One arm's audited result — the reduce unit the fleet merges when the
+/// auditor runs with `--jobs`, and the line source for serial output.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AuditOutcome {
+    /// Arm name, `<scenario>/<flawed|fixed>`.
+    pub name: String,
+    /// The fingerprint hash of the (identical) runs, or the divergence.
+    pub result: Result<u64, Divergence>,
+}
+
+impl AuditOutcome {
+    pub fn is_ok(&self) -> bool {
+        self.result.is_ok()
+    }
+
+    /// The exact line the auditor prints for this arm — shared by the
+    /// serial and the fleet-sharded audit paths so `--jobs K` output is
+    /// byte-identical to serial.
+    pub fn render(&self) -> String {
+        match &self.result {
+            Ok(hash) => format!("audit {}: ok {hash:016x}", self.name),
+            Err(d) => format!("audit FAILED: {d}"),
+        }
+    }
+}
+
 /// Audits a scenario closure by running it twice with the same seed.
 ///
 /// `run` must be a pure function of the seed (that is the property under
@@ -132,5 +158,22 @@ mod tests {
     fn length_only_divergence_is_reported() {
         let d = compare_runs("s", 1, "a\nb", "a\nb\nc").expect("diverges");
         assert!(d.first_diff.contains("lengths differ"), "{}", d.first_diff);
+    }
+
+    #[test]
+    fn outcome_renders_the_audit_lines() {
+        let ok = AuditOutcome {
+            name: "s/flawed".to_string(),
+            result: Ok(0xabc),
+        };
+        assert!(ok.is_ok());
+        assert_eq!(ok.render(), "audit s/flawed: ok 0000000000000abc");
+
+        let failed = AuditOutcome {
+            name: "s/flawed".to_string(),
+            result: Err(compare_runs("s/flawed", 7, "x", "y").expect("diverges")),
+        };
+        assert!(!failed.is_ok());
+        assert!(failed.render().starts_with("audit FAILED: s/flawed: seed 7"));
     }
 }

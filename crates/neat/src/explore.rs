@@ -146,6 +146,31 @@ impl ExplorationReport {
     }
 }
 
+/// Merges per-seed reports (in sweep order) into the report a single
+/// serial run over the concatenated trial sequence would have produced:
+/// trial counts and per-kind tallies sum, and the first failing trial is
+/// offset by the trials of the reports before it. Used by the fleet to
+/// reduce parallel exploration sweeps deterministically.
+pub fn merge_reports<'a, I>(reports: I) -> ExplorationReport
+where
+    I: IntoIterator<Item = &'a ExplorationReport>,
+{
+    let mut merged = ExplorationReport::default();
+    for r in reports {
+        if merged.first_violation_trial.is_none() {
+            if let Some(t) = r.first_violation_trial {
+                merged.first_violation_trial = Some(merged.trials + t);
+            }
+        }
+        merged.trials += r.trials;
+        merged.trials_with_violation += r.trials_with_violation;
+        for (kind, count) in &r.kinds {
+            *merged.kinds.entry(*kind).or_default() += count;
+        }
+    }
+    merged
+}
+
 /// Picks the partition groups for a trial.
 fn choose_spec(
     kind: PartitionKind,
@@ -351,6 +376,56 @@ mod tests {
         let guided = explore(&mut target, &Strategy::findings_guided(), 50, 3);
         assert!(guided.first_violation_trial.is_some());
         assert!(guided.kinds.contains_key(&ViolationKind::StaleRead));
+    }
+
+    #[test]
+    fn merge_reports_sums_and_offsets_first_violation() {
+        let mut a = ExplorationReport {
+            trials: 10,
+            ..Default::default()
+        };
+        a.kinds.insert(ViolationKind::StaleRead, 2);
+        let b = ExplorationReport {
+            trials: 10,
+            trials_with_violation: 3,
+            first_violation_trial: Some(4),
+            kinds: [(ViolationKind::StaleRead, 1), (ViolationKind::DataLoss, 2)]
+                .into_iter()
+                .collect(),
+        };
+        let merged = merge_reports([&a, &b]);
+        assert_eq!(merged.trials, 20);
+        assert_eq!(merged.trials_with_violation, 3);
+        // First failing trial sits in the second batch: offset by batch 1.
+        assert_eq!(merged.first_violation_trial, Some(14));
+        assert_eq!(merged.kinds[&ViolationKind::StaleRead], 3);
+        assert_eq!(merged.kinds[&ViolationKind::DataLoss], 2);
+        assert_eq!(merge_reports([]).trials, 0);
+    }
+
+    #[test]
+    fn merge_matches_one_serial_run_over_the_same_trials() {
+        let mut target = ToyTarget::new();
+        let strategy = Strategy::findings_guided();
+        // explore() derives each trial's seed from (seed, trial index), so
+        // two half-size batches at the same seed are NOT the same trials
+        // as one big batch — merge is only asserted on the invariants
+        // that hold regardless: totals and monotone first-violation.
+        let first = explore(&mut target, &strategy, 25, 11);
+        let second = explore(&mut target, &strategy, 25, 12);
+        let merged = merge_reports([&first, &second]);
+        assert_eq!(merged.trials, 50);
+        assert_eq!(
+            merged.trials_with_violation,
+            first.trials_with_violation + second.trials_with_violation
+        );
+        match first.first_violation_trial {
+            Some(t) => assert_eq!(merged.first_violation_trial, Some(t)),
+            None => assert_eq!(
+                merged.first_violation_trial,
+                second.first_violation_trial.map(|t| t + 25)
+            ),
+        }
     }
 
     #[test]

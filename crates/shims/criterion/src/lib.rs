@@ -14,6 +14,7 @@
 
 use std::fmt::Display;
 use std::time::Duration;
+#[allow(clippy::disallowed_types)]
 use std::time::Instant; // lint:allow(wall-clock)
 
 pub use std::hint::black_box;
@@ -113,6 +114,7 @@ pub struct Bencher {
 }
 
 impl Bencher {
+    #[allow(clippy::disallowed_types)]
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
         let start = Instant::now(); // lint:allow(wall-clock)
         let out = f();

@@ -15,7 +15,7 @@
 use neat::{Violation, ViolationKind};
 
 /// One scenario executed under both configurations.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct ScenarioResult {
     /// Scenario identifier (also used by Table 15 rows to reference it).
     pub name: &'static str,
@@ -562,23 +562,90 @@ pub fn registry() -> Vec<ScenarioSpec> {
     specs
 }
 
+fn result_of(s: &ScenarioSpec, seed: u64) -> ScenarioResult {
+    ScenarioResult {
+        name: s.name,
+        system: s.system,
+        reference: s.reference,
+        partition: s.partition,
+        flawed: kinds(&(s.flawed)(seed, false).violations),
+        fixed: s
+            .fixed
+            .as_ref()
+            .map(|f| kinds(&f(seed, false).violations))
+            .unwrap_or_default(),
+    }
+}
+
 /// Runs every scenario in the workspace, flawed and fixed.
 pub fn run_all_scenarios(seed: u64) -> Vec<ScenarioResult> {
-    registry()
-        .iter()
-        .map(|s| ScenarioResult {
-            name: s.name,
-            system: s.system,
-            reference: s.reference,
-            partition: s.partition,
-            flawed: kinds(&(s.flawed)(seed, false).violations),
-            fixed: s
-                .fixed
-                .as_ref()
-                .map(|f| kinds(&f(seed, false).violations))
-                .unwrap_or_default(),
-        })
-        .collect()
+    registry().iter().map(|s| result_of(s, seed)).collect()
+}
+
+/// Number of scenarios in [`registry`] — the work-item count the fleet
+/// shards over without having to hold `Runner` closures across threads.
+pub fn scenario_count() -> usize {
+    registry().len()
+}
+
+/// Runs the scenario at `index` (registry order), both arms, at `seed`.
+///
+/// This is the fleet's unit of work: the boxed runners in
+/// [`ScenarioSpec`] are not `Send`, so parallel workers never ship them
+/// across threads — each worker rebuilds the (cheap, closure-only)
+/// registry and addresses scenarios by index. Panics if `index` is out
+/// of range.
+pub fn run_scenario_at(index: usize, seed: u64) -> ScenarioResult {
+    let specs = registry();
+    result_of(&specs[index], seed)
+}
+
+/// Stable address of one runnable arm of the registry.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ArmId {
+    /// Index into [`registry`].
+    pub scenario: usize,
+    /// `false` = the flawed arm, `true` = the repaired baseline.
+    pub fixed: bool,
+    /// Display name, `<scenario>/<flawed|fixed>` — the key the auditor
+    /// and the fingerprint tests report under.
+    pub name: String,
+}
+
+/// Every runnable arm, flattened in registry order (flawed then fixed per
+/// scenario) — the auditor's and the fingerprint sweep's work list.
+pub fn arm_ids() -> Vec<ArmId> {
+    let mut arms = Vec::new();
+    for (i, s) in registry().iter().enumerate() {
+        arms.push(ArmId {
+            scenario: i,
+            fixed: false,
+            name: format!("{}/flawed", s.name),
+        });
+        if s.fixed.is_some() {
+            arms.push(ArmId {
+                scenario: i,
+                fixed: true,
+                name: format!("{}/fixed", s.name),
+            });
+        }
+    }
+    arms
+}
+
+/// Runs one arm by address. Panics if the arm does not exist (callers
+/// enumerate via [`arm_ids`], which only yields real arms).
+pub fn run_arm(arm: &ArmId, seed: u64, record: bool) -> RunArtifacts {
+    let specs = registry();
+    let spec = &specs[arm.scenario];
+    if arm.fixed {
+        match &spec.fixed {
+            Some(f) => f(seed, record),
+            None => panic!("{} has no fixed arm", spec.name),
+        }
+    } else {
+        (spec.flawed)(seed, record)
+    }
 }
 
 /// Runs every registered scenario arm with trace recording on and returns
@@ -793,6 +860,197 @@ pub fn render(results: &[ScenarioResult]) -> String {
                 "not modelled"
             }
         ));
+    }
+    out
+}
+
+// --- Multi-seed sweeps (§5.4 / Table 11, live) ---------------------------
+
+/// Timing class of a scenario observed across a seed sweep — the live
+/// analogue of the paper's Table 11 timing-constraint taxonomy.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum TimingClass {
+    /// Detected at every swept seed: no timing constraint stands between
+    /// the partition and the failure (paper: "no timing constraints").
+    Deterministic,
+    /// Detected at some seeds only: the failure needs the fault to land
+    /// in a timing window that only some schedules produce (paper: "has
+    /// timing constraints" / "nondeterministic").
+    TimingDependent,
+    /// Never detected at the swept seeds.
+    Undetected,
+}
+
+impl TimingClass {
+    pub fn label(self) -> &'static str {
+        match self {
+            TimingClass::Deterministic => "deterministic",
+            TimingClass::TimingDependent => "timing-dependent",
+            TimingClass::Undetected => "undetected",
+        }
+    }
+}
+
+/// One scenario's outcomes across every swept seed, in seed order.
+#[derive(Clone, Debug)]
+pub struct SweepScenario {
+    pub name: &'static str,
+    pub system: &'static str,
+    /// Per seed: did the flawed arm detect at least one violation?
+    pub detected: Vec<bool>,
+    /// Per seed: did the repaired baseline stay clean? (`true` when the
+    /// scenario has no fixed arm — those are asserted by unit tests.)
+    pub fixed_clean: Vec<bool>,
+}
+
+impl SweepScenario {
+    /// Seeds at which the flawed arm detected its failure.
+    pub fn hits(&self) -> usize {
+        self.detected.iter().filter(|&&d| d).count()
+    }
+
+    /// Detection probability estimated over the swept seeds.
+    pub fn rate(&self) -> f64 {
+        if self.detected.is_empty() {
+            0.0
+        } else {
+            self.hits() as f64 / self.detected.len() as f64
+        }
+    }
+
+    pub fn class(&self) -> TimingClass {
+        let hits = self.hits();
+        if hits == 0 {
+            TimingClass::Undetected
+        } else if hits == self.detected.len() {
+            TimingClass::Deterministic
+        } else {
+            TimingClass::TimingDependent
+        }
+    }
+}
+
+/// The merged result of running the full campaign at every seed of a
+/// sweep. Keyed and ordered by (scenario, seed), so the report is
+/// byte-stable regardless of which worker produced which run.
+#[derive(Clone, Debug)]
+pub struct SweepReport {
+    pub seeds: Vec<u64>,
+    pub scenarios: Vec<SweepScenario>,
+}
+
+impl SweepReport {
+    /// Builds the report from per-seed campaign runs: `runs[i]` must be
+    /// the registry-order results for `seeds[i]`.
+    pub fn from_runs(seeds: Vec<u64>, runs: &[Vec<ScenarioResult>]) -> SweepReport {
+        assert_eq!(seeds.len(), runs.len(), "one run per seed");
+        let n = runs.first().map(|r| r.len()).unwrap_or(0);
+        let mut scenarios = Vec::with_capacity(n);
+        for s in 0..n {
+            let first = &runs[0][s];
+            let mut sc = SweepScenario {
+                name: first.name,
+                system: first.system,
+                detected: Vec::with_capacity(seeds.len()),
+                fixed_clean: Vec::with_capacity(seeds.len()),
+            };
+            for run in runs {
+                assert_eq!(run[s].name, first.name, "runs disagree on registry order");
+                sc.detected.push(!run[s].flawed.is_empty());
+                sc.fixed_clean.push(run[s].fixed.is_empty());
+            }
+            scenarios.push(sc);
+        }
+        SweepReport { seeds, scenarios }
+    }
+
+    /// `(deterministic, timing-dependent, undetected)` scenario counts —
+    /// the live Table 11 split.
+    pub fn split(&self) -> (usize, usize, usize) {
+        let count = |c: TimingClass| self.scenarios.iter().filter(|s| s.class() == c).count();
+        (
+            count(TimingClass::Deterministic),
+            count(TimingClass::TimingDependent),
+            count(TimingClass::Undetected),
+        )
+    }
+
+    /// Detection-probability curve: entry `b-1` is the fraction of
+    /// scenarios detected within the first `b` seeds of the sweep — the
+    /// §5.4 "probability of detection per test budget" shape, with seeds
+    /// as the budget axis.
+    pub fn detection_curve(&self) -> Vec<f64> {
+        let n = self.scenarios.len();
+        (1..=self.seeds.len())
+            .map(|b| {
+                if n == 0 {
+                    return 0.0;
+                }
+                let hit = self
+                    .scenarios
+                    .iter()
+                    .filter(|s| s.detected[..b].iter().any(|&d| d))
+                    .count();
+                hit as f64 / n as f64
+            })
+            .collect()
+    }
+}
+
+/// Renders a seed sweep: per-scenario detection rates, the live Table 11
+/// deterministic/nondeterministic split next to the paper's transcription,
+/// and the detection-probability curve.
+pub fn render_sweep(r: &SweepReport) -> String {
+    let n_seeds = r.seeds.len();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "NEAT campaign sweep: {} scenarios x {} seeds ({:?})\n",
+        r.scenarios.len(),
+        n_seeds,
+        r.seeds
+    ));
+    out.push_str(&format!(
+        "  {:<36} {:<14} {:>7} {:>6}  {:>11}  {}\n",
+        "scenario", "system", "hits", "rate", "fixed-clean", "timing"
+    ));
+    for s in &r.scenarios {
+        let clean = s.fixed_clean.iter().filter(|&&c| c).count();
+        out.push_str(&format!(
+            "  {:<36} {:<14} {:>4}/{:<2} {:>6.2} {:>8}/{:<2}   {}\n",
+            s.name,
+            s.system,
+            s.hits(),
+            n_seeds,
+            s.rate(),
+            clean,
+            n_seeds,
+            s.class().label()
+        ));
+    }
+
+    let (det, timing, undet) = r.split();
+    let n = r.scenarios.len().max(1);
+    let pct = |k: usize| 100.0 * k as f64 / n as f64;
+    out.push_str("\nLive Table 11 split (timing constraints observed across seeds vs paper):\n");
+    out.push_str(&format!(
+        "  deterministic     (every seed detects)  {:>3}/{}  {:>5.1}%   paper: 61.8% no timing constraints\n",
+        det, n, pct(det)
+    ));
+    out.push_str(&format!(
+        "  timing-dependent  (some seeds only)     {:>3}/{}  {:>5.1}%   paper: 31.2% has timing constraints\n",
+        timing, n, pct(timing)
+    ));
+    out.push_str(&format!(
+        "  undetected        (no seed detects)     {:>3}/{}  {:>5.1}%   paper:  7.0% nondeterministic\n",
+        undet, n, pct(undet)
+    ));
+
+    out.push_str(
+        "\nDetection probability vs seed budget (fraction of scenarios detected \
+         within the first b seeds):\n",
+    );
+    for (i, p) in r.detection_curve().iter().enumerate() {
+        out.push_str(&format!("  b={:<3} {:.3}\n", i + 1, p));
     }
     out
 }

@@ -1,27 +1,27 @@
 //! Tier-1 gate: every registered scenario arm must be reproducible —
 //! running it twice with the same seed must yield byte-identical
 //! execution fingerprints. This is the `cargo run -p lint -- --audit`
-//! check wired into `cargo test`.
-
-use neat_repro::campaign::registry;
+//! check wired into `cargo test`, sharded across the fleet pool the same
+//! way `lint --audit --jobs K` runs it (the outcomes are index-ordered,
+//! so the worker count cannot change what this test sees).
 
 #[test]
 fn every_scenario_arm_double_runs_identically() {
-    let seed = 42;
-    let mut arms = 0usize;
-    for spec in registry() {
-        let mut check = |arm: &str, run: &neat_repro::campaign::Runner| {
-            arms += 1;
-            let name = format!("{}/{arm}", spec.name);
-            if let Err(d) = neat::audit::audit_double_run(&name, seed, |s| run(s, true).fingerprint)
-            {
-                panic!("scenario diverged across same-seed runs: {d}");
-            }
-        };
-        check("flawed", &spec.flawed);
-        if let Some(fixed) = &spec.fixed {
-            check("fixed", fixed);
-        }
-    }
-    assert!(arms >= 26, "registry shrank: only {arms} arms audited");
+    let jobs = std::thread::available_parallelism().map_or(1, |n| n.get()).min(8);
+    let outcomes = fleet::campaign::audit(42, jobs);
+    let failures: Vec<String> = outcomes
+        .iter()
+        .filter(|o| !o.is_ok())
+        .map(|o| o.render())
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "scenarios diverged across same-seed runs:\n{}",
+        failures.join("\n")
+    );
+    assert!(
+        outcomes.len() >= 26,
+        "registry shrank: only {} arms audited",
+        outcomes.len()
+    );
 }

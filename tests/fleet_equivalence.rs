@@ -1,0 +1,72 @@
+//! Tier-1 gate: the fleet runner is *transparent* — for any worker count,
+//! every parallel entry point must produce bytes identical to its serial
+//! counterpart over the full scenario registry. This is the property that
+//! lets `--jobs K` exist at all in a repo whose north star is "same seed
+//! ⇒ same trace": parallelism may only change wall-clock time, never one
+//! byte of output.
+
+use neat_repro::campaign::{render, render_sweep, run_all_scenarios, scenario_fingerprints};
+
+#[test]
+fn campaign_is_byte_identical_for_any_worker_count() {
+    let serial = render(&run_all_scenarios(8));
+    for jobs in [1, 4, 8] {
+        assert_eq!(
+            render(&fleet::campaign::run_all(8, jobs)),
+            serial,
+            "campaign diverged at jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn sweep_is_byte_identical_for_any_worker_count() {
+    let seeds: Vec<u64> = (8..12).collect();
+    let serial = render_sweep(&fleet::campaign::sweep(&seeds, 1));
+    for jobs in [4, 8] {
+        assert_eq!(
+            render_sweep(&fleet::campaign::sweep(&seeds, jobs)),
+            serial,
+            "sweep diverged at jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn fingerprints_are_byte_identical_for_any_worker_count() {
+    let serial = scenario_fingerprints(8);
+    for jobs in [1, 4, 8] {
+        assert_eq!(
+            fleet::campaign::fingerprints(8, jobs),
+            serial,
+            "fingerprints diverged at jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn cli_report_is_jobs_invariant_in_both_modes() {
+    for seeds in [None, Some(3)] {
+        let serial = fleet::cli::report(&fleet::cli::Opts {
+            seed: 8,
+            seeds,
+            jobs: 1,
+        });
+        for jobs in [4, 8] {
+            let parallel = fleet::cli::report(&fleet::cli::Opts {
+                seed: 8,
+                seeds,
+                jobs,
+            });
+            assert_eq!(parallel, serial, "seeds={seeds:?} jobs={jobs}");
+        }
+    }
+}
+
+#[test]
+fn audit_is_jobs_invariant() {
+    let serial = fleet::campaign::audit(42, 1);
+    for jobs in [4, 8] {
+        assert_eq!(fleet::campaign::audit(42, jobs), serial, "jobs={jobs}");
+    }
+}

@@ -1,0 +1,122 @@
+//! Tier-1 gate: the committed output artifacts must match what the
+//! binaries produce today. Each artifact is regenerated in-process (the
+//! binaries are thin wrappers over the same library calls) and diffed
+//! byte-for-byte, so a behaviour change that forgets to refresh the
+//! checked-in files fails CI with the first diverging line.
+
+use std::path::{Path, PathBuf};
+
+fn root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn read(name: &str) -> String {
+    let path = root().join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read committed artifact {}: {e}", path.display()))
+}
+
+fn assert_fresh(name: &str, committed: &str, regenerated: &str, regen_cmd: &str) {
+    if committed == regenerated {
+        return;
+    }
+    let first_diff = committed
+        .lines()
+        .zip(regenerated.lines())
+        .position(|(a, b)| a != b)
+        .map(|i| {
+            let a = committed.lines().nth(i).unwrap_or("");
+            let b = regenerated.lines().nth(i).unwrap_or("");
+            format!("line {}: committed `{a}` vs regenerated `{b}`", i + 1)
+        })
+        .unwrap_or_else(|| {
+            format!(
+                "line counts differ: committed {} vs regenerated {}",
+                committed.lines().count(),
+                regenerated.lines().count()
+            )
+        });
+    panic!("{name} is stale ({first_diff}); refresh with `{regen_cmd}`");
+}
+
+#[test]
+fn campaign_output_is_fresh() {
+    assert_fresh(
+        "campaign_output.txt",
+        &read("campaign_output.txt"),
+        &bench::reports::campaign_report(),
+        "cargo run --release -p bench --bin campaign > campaign_output.txt",
+    );
+}
+
+#[test]
+fn tables_output_is_fresh() {
+    assert_fresh(
+        "tables_output.txt",
+        &read("tables_output.txt"),
+        &bench::reports::tables_report().expect("tables render"),
+        "cargo run --release -p bench --bin tables > tables_output.txt",
+    );
+}
+
+#[test]
+fn figures_output_is_fresh() {
+    assert_fresh(
+        "figures_output.txt",
+        &read("figures_output.txt"),
+        &bench::reports::figures_report(),
+        "cargo run --release -p bench --bin figures > figures_output.txt",
+    );
+}
+
+/// The fleet bench artifact records wall-clock timings, which no test can
+/// pin — but its *shape* must track the registry: scenario/arm counts, the
+/// jobs ladder, and the schema keys the README points at.
+#[test]
+fn fleet_bench_artifact_matches_the_registry_shape() {
+    let json = read("BENCH_fleet.json");
+    let expect = |needle: String| {
+        assert!(
+            json.contains(&needle),
+            "BENCH_fleet.json lacks `{needle}`; refresh with \
+             `cargo run --release -p bench --bin fleet_bench`"
+        );
+    };
+    expect(format!(
+        "\"scenarios\": {}",
+        neat_repro::campaign::scenario_count()
+    ));
+    expect(format!("\"arms\": {}", neat_repro::campaign::arm_ids().len()));
+    for key in [
+        "\"bench\": \"fleet\"",
+        "\"machine_workers\": ",
+        "\"wall_clock_ns\": ",
+        "\"speedup\": ",
+        "\"byte_identical\": true",
+        "\"jobs\": 4",
+        "\"identical\": true",
+    ] {
+        expect(key.to_string());
+    }
+    assert!(
+        !json.contains("\"byte_identical\": false"),
+        "a recorded fleet run diverged from serial — that is a determinism bug"
+    );
+}
+
+/// Guard the guard: golden tests are only trustworthy if the artifacts
+/// they check are the ones the repo actually commits.
+#[test]
+fn all_golden_artifacts_exist() {
+    for name in [
+        "campaign_output.txt",
+        "tables_output.txt",
+        "figures_output.txt",
+        "BENCH_fleet.json",
+    ] {
+        assert!(
+            Path::new(&root().join(name)).exists(),
+            "missing committed artifact {name}"
+        );
+    }
+}

@@ -48,6 +48,36 @@ fn bad(seed: u64) -> u64 {
     hit(Rule::UnwrapExpect, 7);
 }
 
+/// The fleet pool is the one audited place that starts OS threads. Three
+/// properties keep that boundary honest: the real source carries the
+/// audit annotations, the scanner genuinely sees the spawns once the
+/// annotations are stripped, and the same annotated source would still be
+/// rejected under any simulation-crate path.
+#[test]
+fn fleet_thread_spawn_sites_are_audited_and_fleet_only() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let pool = std::fs::read_to_string(root.join("crates/fleet/src/pool.rs"))
+        .expect("read crates/fleet/src/pool.rs");
+    assert!(
+        pool.contains("lint:allow(thread-spawn)"),
+        "the fleet pool lost its audit annotations"
+    );
+
+    let stripped = pool.replace("lint:allow(thread-spawn)", "lint:allow(removed)");
+    let findings = scan_source("crates/fleet/src/pool.rs", &stripped);
+    assert!(
+        findings.iter().any(|f| f.rule == Rule::ThreadSpawn),
+        "scanner no longer sees the fleet's thread spawns:\n{findings:#?}"
+    );
+
+    let smuggled = scan_source("crates/repkv/src/pool.rs", &pool);
+    assert!(
+        smuggled.iter().any(|f| f.rule == Rule::ThreadSpawn),
+        "a simulation crate accepted thread-spawn allows — the escape \
+         hatch must be fleet-only:\n{smuggled:#?}"
+    );
+}
+
 #[test]
 fn allow_directives_suppress_findings() {
     let src = "\
