@@ -1,0 +1,54 @@
+//! Regenerates the failure-forensics artifacts at the repo root: every
+//! flawed arm of the campaign, run at the historical seed 8 with trace
+//! recording on, explained as Listing-1/2-style failure timelines
+//! (`forensics_output.txt`) with the simulation counters in
+//! `BENCH_forensics.json`. Both are fully deterministic, so the tier-1
+//! golden tests regenerate the identical bytes in-process.
+//!
+//! ```text
+//! cargo run --release -p bench --bin forensics            # writes both artifacts
+//! cargo run --release -p bench --bin forensics -- --print # narrative to stdout only
+//! cargo run --release -p bench --bin forensics -- --jsonl # JSONL stream to stdout
+//! ```
+
+use std::io::Write;
+use std::process::ExitCode;
+
+/// Writes to stdout, exiting non-zero on a write error (e.g. a closed
+/// pipe mid-stream) instead of panicking like the `print!` macros do.
+fn emit(content: &str) -> ExitCode {
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    match out.write_all(content.as_bytes()).and_then(|()| out.flush()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("forensics: failed to write to stdout: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--jsonl") {
+        return emit(&bench::reports::forensics_jsonl());
+    }
+    let text = bench::reports::forensics_report();
+    if args.iter().any(|a| a == "--print") {
+        return emit(&text);
+    }
+    // The manifest dir is crates/bench; the artifacts live at the root.
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    for (name, content) in [
+        ("forensics_output.txt", text),
+        ("BENCH_forensics.json", bench::reports::forensics_machine_json()),
+    ] {
+        let path = format!("{root}/{name}");
+        if let Err(e) = std::fs::write(&path, &content) {
+            eprintln!("forensics: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}

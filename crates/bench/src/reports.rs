@@ -178,7 +178,7 @@ fn figure2(out: &mut String) {
 
 fn figure3(out: &mut String) {
     w!(out, "== Figure 3: MapReduce double execution (MAPREDUCE-4819) ==\n");
-    let (violations, trace) = sched::double_execution(
+    let (violations, trace, _timeline) = sched::double_execution(
         sched::MrFlaws {
             relaunch_without_checking: true,
         },
@@ -189,7 +189,7 @@ fn figure3(out: &mut String) {
     for v in &violations {
         w!(out, "  VIOLATION: {v}");
     }
-    let (fixed, _) = sched::double_execution(
+    let (fixed, _, _) = sched::double_execution(
         sched::MrFlaws {
             relaunch_without_checking: false,
         },
@@ -306,6 +306,76 @@ pub fn figures_report() -> String {
     out
 }
 
+// --- forensics -----------------------------------------------------------
+
+/// Exact content of `forensics_output.txt`: every flawed arm of the
+/// campaign run at the historical seed 8 with trace recording on, each
+/// explained as a Listing-1/2-style failure timeline.
+pub fn forensics_report() -> String {
+    let reports = neat_repro::campaign::forensic_reports(8);
+    neat_repro::campaign::render_forensics(8, &reports)
+}
+
+/// The machine-readable companion stream (`--jsonl`): the same seed-8
+/// sweep as JSONL, one `report` header line per scenario followed by its
+/// timeline events.
+pub fn forensics_jsonl() -> String {
+    neat_repro::campaign::forensics_jsonl(&neat_repro::campaign::forensic_reports(8))
+}
+
+/// Exact content of `BENCH_forensics.json`: the simulation counters of
+/// the seed-8 forensics sweep, aggregate and per scenario. Unlike
+/// `BENCH_fleet.json` this records no wall-clock numbers, so it is fully
+/// deterministic and golden-tested byte-for-byte.
+pub fn forensics_machine_json() -> String {
+    let reports = neat_repro::campaign::forensic_reports(8);
+    let detected = reports.iter().filter(|r| r.detected()).count();
+    let mut total = neat::obs::Counters::default();
+    for r in &reports {
+        total.merge(&r.timeline.counters);
+    }
+    let counters = |out: &mut String, c: &neat::obs::Counters| {
+        let _ = write!(
+            out,
+            "{{\"events_simulated\":{},\"messages_dropped\":{},\"ops_ordered\":{},\
+             \"partitions_installed\":{},\"heals\":{},\"crashes\":{},\"restarts\":{},\
+             \"verdicts\":{}}}",
+            c.events_simulated,
+            c.messages_dropped,
+            c.ops_ordered,
+            c.partitions_installed,
+            c.heals,
+            c.crashes,
+            c.restarts,
+            c.verdicts,
+        );
+    };
+    let mut out = format!(
+        "{{\"bench\":\"forensics\",\"seed\":8,\"scenarios\":{},\"detected\":{detected},\
+         \"counters\":",
+        reports.len()
+    );
+    counters(&mut out, &total);
+    out.push_str(",\"per_scenario\":[");
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"scenario\":");
+        study::json::push_json_str(&mut out, &r.scenario);
+        let _ = write!(
+            out,
+            ",\"violations\":{},\"events\":{},\"counters\":",
+            r.violations.len(),
+            r.timeline.len()
+        );
+        counters(&mut out, &r.timeline.counters);
+        out.push('}');
+    }
+    out.push_str("]}");
+    format!("{}\n", study::json::pretty(&out))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -329,5 +399,45 @@ mod tests {
     #[test]
     fn figures_report_is_deterministic() {
         assert_eq!(figures_report(), figures_report());
+    }
+
+    #[test]
+    fn forensics_report_covers_every_scenario() {
+        let out = forensics_report();
+        assert!(out.starts_with("== NEAT failure forensics ==\n"), "{out}");
+        for s in neat_repro::campaign::run_all_scenarios(8) {
+            assert!(
+                out.contains(&format!("== {} — ", s.name)),
+                "missing forensics block for {}",
+                s.name
+            );
+        }
+        assert!(out.contains("aggregate counters: events="), "{out}");
+    }
+
+    #[test]
+    fn forensics_jsonl_is_one_report_per_scenario() {
+        let stream = forensics_jsonl();
+        let headers = stream
+            .lines()
+            .filter(|l| l.starts_with("{\"type\":\"report\""))
+            .count();
+        assert_eq!(headers, neat_repro::campaign::scenario_count());
+        assert!(stream.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn forensics_machine_json_counts_match_the_report() {
+        let json = forensics_machine_json();
+        assert!(json.contains("\"bench\": \"forensics\""), "{json}");
+        assert!(
+            json.contains(&format!(
+                "\"scenarios\": {}",
+                neat_repro::campaign::scenario_count()
+            )),
+            "{json}"
+        );
+        assert!(json.contains("\"events_simulated\": "), "{json}");
+        assert!(json.ends_with('\n'));
     }
 }

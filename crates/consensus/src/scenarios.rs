@@ -23,6 +23,8 @@ pub struct ReconfigOutcome {
     pub final_state: BTreeMap<String, Option<u64>>,
     /// Manifestation trace (when recorded).
     pub trace: String,
+    /// Typed observability timeline (faults, ops, verdicts; see `obs`).
+    pub timeline: neat::obs::Timeline,
 }
 
 impl ReconfigOutcome {
@@ -102,11 +104,13 @@ pub fn rethinkdb_reconfig_split_brain(
         RegisterSemantics::Strong,
         &final_state,
     );
+    let timeline = cluster.neat.observe(&violations);
     ReconfigOutcome {
         violations,
         dual_majorities,
         final_state,
         trace: cluster.neat.world.trace().summary(),
+        timeline,
     }
 }
 

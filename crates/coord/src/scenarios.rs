@@ -17,6 +17,8 @@ use crate::{
 pub struct CoordOutcome {
     pub violations: Vec<Violation>,
     pub trace: String,
+    /// Typed observability timeline (faults, ops, verdicts; see `obs`).
+    pub timeline: neat::obs::Timeline,
 }
 
 impl CoordOutcome {
@@ -102,9 +104,11 @@ pub fn txnlog_sync_corruption(flaws: CoordFlaws, seed: u64, record: bool) -> Coo
             ),
         ));
     }
+    let timeline = cluster.neat.observe(&violations);
     CoordOutcome {
         violations,
         trace: cluster.neat.world.trace().summary(),
+        timeline,
     }
 }
 
@@ -176,9 +180,11 @@ pub fn sync_interrupted_corruption(flaws: CoordFlaws, seed: u64, record: bool) -
             ),
         ));
     }
+    let timeline = cluster.neat.observe(&violations);
     CoordOutcome {
         violations,
         trace: cluster.neat.world.trace().summary(),
+        timeline,
     }
 }
 
@@ -217,9 +223,11 @@ pub fn ephemeral_never_deleted(flaws: CoordFlaws, seed: u64, record: bool) -> Co
              the lock is permanently stuck",
         ));
     }
+    let timeline = cluster.neat.observe(&violations);
     CoordOutcome {
         violations,
         trace: cluster.neat.world.trace().summary(),
+        timeline,
     }
 }
 

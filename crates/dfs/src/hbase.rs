@@ -477,7 +477,7 @@ impl HbCluster {
 /// HBASE-2312: a partial partition separates the serving region server from
 /// the HMaster but not from the log store; writes acknowledged into a
 /// freshly rolled log are lost when the master's split misses that log.
-pub fn log_roll_data_loss(flaws: HbFlaws, seed: u64, record: bool) -> (Vec<Violation>, String) {
+pub fn log_roll_data_loss(flaws: HbFlaws, seed: u64, record: bool) -> (Vec<Violation>, String, neat::obs::Timeline) {
     let mut cluster = HbCluster::build(flaws, seed, record);
     cluster.neat.sleep(300);
     let rs1 = cluster.region_servers[0];
@@ -513,7 +513,8 @@ pub fn log_roll_data_loss(flaws: HbFlaws, seed: u64, record: bool) -> (Vec<Viola
         RegisterSemantics::Strong,
         &final_state,
     );
-    (violations, cluster.neat.world.trace().summary())
+    let timeline = cluster.neat.observe(&violations);
+    (violations, cluster.neat.world.trace().summary(), timeline)
 }
 
 #[cfg(test)]
@@ -535,7 +536,7 @@ mod tests {
 
     #[test]
     fn hbase2312_rolled_log_lost_with_the_flaw() {
-        let (violations, _) = log_roll_data_loss(HbFlaws { fence_on_split: false }, 141, false);
+        let (violations, _, _) = log_roll_data_loss(HbFlaws { fence_on_split: false }, 141, false);
         assert!(
             violations.iter().any(|v| v.kind == ViolationKind::DataLoss),
             "{violations:?}"
@@ -544,7 +545,7 @@ mod tests {
 
     #[test]
     fn hbase2312_fencing_prevents_acked_loss() {
-        let (violations, _) = log_roll_data_loss(HbFlaws { fence_on_split: true }, 141, false);
+        let (violations, _, _) = log_roll_data_loss(HbFlaws { fence_on_split: true }, 141, false);
         assert!(violations.is_empty(), "{violations:?}");
     }
 }

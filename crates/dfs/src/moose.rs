@@ -332,7 +332,7 @@ impl MooseCluster {
 
 /// moosefs #132: the client cannot reach the chunkserver the master keeps
 /// suggesting; with the sticky placement the write never completes.
-pub fn client_hang(flaws: MooseFlaws, seed: u64, record: bool) -> (Vec<Violation>, String) {
+pub fn client_hang(flaws: MooseFlaws, seed: u64, record: bool) -> (Vec<Violation>, String, neat::obs::Timeline) {
     let mut cluster = MooseCluster::build(flaws, seed, record);
     cluster.neat.sleep(50);
 
@@ -352,13 +352,14 @@ pub fn client_hang(flaws: MooseFlaws, seed: u64, record: bool) -> (Vec<Violation
              write never completed although two healthy chunkservers existed",
         ));
     }
-    (violations, cluster.neat.world.trace().summary())
+    let timeline = cluster.neat.observe(&violations);
+    (violations, cluster.neat.world.trace().summary(), timeline)
 }
 
 /// moosefs #131: the partition interrupts the chunk write after the master
 /// recorded the file; the file system is left inconsistent (metadata with
 /// no data).
-pub fn inconsistent_metadata(flaws: MooseFlaws, seed: u64, record: bool) -> (Vec<Violation>, String) {
+pub fn inconsistent_metadata(flaws: MooseFlaws, seed: u64, record: bool) -> (Vec<Violation>, String, neat::obs::Timeline) {
     let mut cluster = MooseCluster::build(flaws, seed, record);
     cluster.neat.sleep(50);
 
@@ -382,7 +383,8 @@ pub fn inconsistent_metadata(flaws: MooseFlaws, seed: u64, record: bool) -> (Vec
              inconsistent file-system state",
         ));
     }
-    (violations, cluster.neat.world.trace().summary())
+    let timeline = cluster.neat.observe(&violations);
+    (violations, cluster.neat.world.trace().summary(), timeline)
 }
 
 #[cfg(test)]
@@ -414,7 +416,7 @@ mod tests {
 
     #[test]
     fn moosefs132_hang_with_the_flaw() {
-        let (violations, _) = client_hang(flawed(), 111, false);
+        let (violations, _, _) = client_hang(flawed(), 111, false);
         assert!(
             violations.iter().any(|v| v.kind == ViolationKind::SystemHang),
             "{violations:?}"
@@ -423,13 +425,13 @@ mod tests {
 
     #[test]
     fn moosefs132_retry_succeeds_when_fixed() {
-        let (violations, _) = client_hang(fixed(), 111, false);
+        let (violations, _, _) = client_hang(fixed(), 111, false);
         assert!(violations.is_empty(), "{violations:?}");
     }
 
     #[test]
     fn moosefs131_inconsistent_metadata_with_the_flaw() {
-        let (violations, _) = inconsistent_metadata(flawed(), 113, false);
+        let (violations, _, _) = inconsistent_metadata(flawed(), 113, false);
         assert!(
             violations.iter().any(|v| v.kind == ViolationKind::DataCorruption),
             "{violations:?}"
@@ -438,7 +440,7 @@ mod tests {
 
     #[test]
     fn moosefs131_consistent_when_fixed() {
-        let (violations, _) = inconsistent_metadata(fixed(), 113, false);
+        let (violations, _, _) = inconsistent_metadata(fixed(), 113, false);
         assert!(violations.is_empty(), "{violations:?}");
     }
 }

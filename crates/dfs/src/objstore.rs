@@ -388,7 +388,7 @@ impl ObjCluster {
 /// ceph #24193 (modelled): a partial partition isolates the lowest OSD;
 /// acknowledged writes and deletes commit on the majority; the flawed
 /// recovery then takes the stale OSD's copies as authoritative.
-pub fn recovery_resurrection(flaws: ObjFlaws, seed: u64, record: bool) -> (Vec<Violation>, String) {
+pub fn recovery_resurrection(flaws: ObjFlaws, seed: u64, record: bool) -> (Vec<Violation>, String, neat::obs::Timeline) {
     let mut cluster = ObjCluster::build(flaws, seed, record);
     cluster.neat.sleep(50);
 
@@ -442,7 +442,8 @@ pub fn recovery_resurrection(flaws: ObjFlaws, seed: u64, record: bool) -> (Vec<V
         RegisterSemantics::Strong,
         &final_state,
     );
-    (violations, cluster.neat.world.trace().summary())
+    let timeline = cluster.neat.observe(&violations);
+    (violations, cluster.neat.world.trace().summary(), timeline)
 }
 
 #[cfg(test)]
@@ -462,7 +463,7 @@ mod tests {
 
     #[test]
     fn ceph24193_resurrection_and_rollback_with_the_flaw() {
-        let (violations, _) = recovery_resurrection(ObjFlaws { naive_recovery: true }, 121, false);
+        let (violations, _, _) = recovery_resurrection(ObjFlaws { naive_recovery: true }, 121, false);
         assert!(
             violations
                 .iter()
@@ -480,7 +481,7 @@ mod tests {
 
     #[test]
     fn ceph24193_clean_with_versioned_recovery() {
-        let (violations, _) =
+        let (violations, _, _) =
             recovery_resurrection(ObjFlaws { naive_recovery: false }, 121, false);
         assert!(violations.is_empty(), "{violations:?}");
     }

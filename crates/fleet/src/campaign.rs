@@ -10,7 +10,7 @@
 
 use neat::audit::{audit_double_run, AuditOutcome};
 use neat_repro::campaign::{
-    arm_ids, run_arm, run_scenario_at, scenario_count, ScenarioResult, SweepReport,
+    arm_ids, forensic_at, run_arm, run_scenario_at, scenario_count, ScenarioResult, SweepReport,
 };
 
 use crate::pool;
@@ -46,6 +46,14 @@ pub fn fingerprints(seed: u64, jobs: usize) -> Vec<(String, String)> {
         let arm = &arms[i];
         (arm.name.clone(), run_arm(arm, seed, true).fingerprint)
     })
+}
+
+/// Parallel [`neat_repro::campaign::forensic_reports`]: the flawed arm of
+/// every scenario with trace recording on, sharded by scenario and merged
+/// back into registry order — so `render_forensics` over the result is
+/// byte-identical to the serial sweep for any `jobs`.
+pub fn forensics(seed: u64, jobs: usize) -> Vec<neat::obs::ForensicReport> {
+    pool::map(jobs, scenario_count(), |i| forensic_at(i, seed))
 }
 
 /// The double-run trace audit (`lint --audit`), sharded by arm: each
@@ -89,6 +97,20 @@ mod tests {
         assert_eq!(report.scenarios.len(), scenario_count());
         for s in &report.scenarios {
             assert_eq!(s.detected.len(), seeds.len());
+        }
+    }
+
+    #[test]
+    fn forensics_match_the_serial_sweep_for_any_jobs() {
+        let serial = neat_repro::campaign::forensic_reports(8);
+        for jobs in [1, 4] {
+            let sharded = forensics(8, jobs);
+            assert_eq!(sharded.len(), serial.len(), "jobs={jobs}");
+            assert_eq!(
+                neat_repro::campaign::render_forensics(8, &sharded),
+                neat_repro::campaign::render_forensics(8, &serial),
+                "jobs={jobs}"
+            );
         }
     }
 

@@ -6,7 +6,7 @@
 //! seed — the pre-fleet campaign behaviour), same report text for any
 //! `--jobs`.
 
-use neat_repro::campaign::{render, render_sweep};
+use neat_repro::campaign::{render, render_forensics, render_sweep};
 
 /// Parsed options for a campaign run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -18,6 +18,10 @@ pub struct Opts {
     pub seeds: Option<usize>,
     /// Worker count (`--jobs`, default 1 = serial).
     pub jobs: usize,
+    /// Forensics mode (`--trace`): run every flawed arm with trace
+    /// recording on and print the failure-timeline report instead of the
+    /// campaign table.
+    pub trace: bool,
 }
 
 impl Default for Opts {
@@ -26,19 +30,21 @@ impl Default for Opts {
             seed: 8,
             seeds: None,
             jobs: 1,
+            trace: false,
         }
     }
 }
 
 pub fn usage() -> &'static str {
-    "usage: [--seed <n>] [--seeds <count>] [--jobs <k>]\n\
+    "usage: [--seed <n>] [--seeds <count>] [--jobs <k>] [--trace]\n\
      \n\
      Default: the full campaign at seed 8, serially — byte-identical to\n\
      the historical `campaign` output. --jobs K fans scenarios across K\n\
      workers (output unchanged for any K). --seeds N runs the campaign at\n\
      N consecutive seeds and reports per-scenario detection rates, the\n\
      live Table 11 deterministic/nondeterministic split, and the\n\
-     detection-probability curve."
+     detection-probability curve. --trace records every flawed arm and\n\
+     prints the failure-forensics timelines instead of the table."
 }
 
 /// Parses CLI arguments (exclusive of the binary name). An empty error
@@ -68,6 +74,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Opts, String> {
                 }
                 opts.jobs = jobs;
             }
+            "--trace" => opts.trace = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -85,6 +92,10 @@ pub fn sweep_seeds(opts: &Opts) -> Vec<u64> {
 /// the exact stdout (minus the trailing newline `println!` adds) of both
 /// campaign binaries.
 pub fn report(opts: &Opts) -> String {
+    if opts.trace {
+        let reports = crate::campaign::forensics(opts.seed, opts.jobs);
+        return render_forensics(opts.seed, &reports);
+    }
     match opts.seeds {
         None => render(&crate::campaign::run_all(opts.seed, opts.jobs)),
         Some(_) => render_sweep(&crate::campaign::sweep(&sweep_seeds(opts), opts.jobs)),
@@ -102,15 +113,18 @@ mod tests {
     #[test]
     fn defaults_preserve_the_historical_campaign() {
         let opts = parse(args(&[])).expect("no args parse");
-        assert_eq!(opts, Opts { seed: 8, seeds: None, jobs: 1 });
+        assert_eq!(opts, Opts::default());
+        assert!(!opts.trace);
     }
 
     #[test]
     fn all_flags_parse() {
-        let opts = parse(args(&["--seed", "3", "--seeds", "5", "--jobs", "4"])).expect("parse");
+        let opts = parse(args(&["--seed", "3", "--seeds", "5", "--jobs", "4", "--trace"]))
+            .expect("parse");
         assert_eq!(opts.seed, 3);
         assert_eq!(opts.seeds, Some(5));
         assert_eq!(opts.jobs, 4);
+        assert!(opts.trace);
         assert_eq!(sweep_seeds(&opts), vec![3, 4, 5, 6, 7]);
     }
 

@@ -17,6 +17,8 @@ use crate::{cluster::GridCluster, node::GridFlaws};
 pub struct GridOutcome {
     pub violations: Vec<Violation>,
     pub trace: String,
+    /// Typed observability timeline (faults, ops, verdicts; see `obs`).
+    pub timeline: neat::obs::Timeline,
 }
 
 impl GridOutcome {
@@ -68,9 +70,11 @@ pub fn semaphore_double_lock(flaws: GridFlaws, seed: u64, record: bool) -> GridO
     cluster.settle(800);
 
     let violations = check_semaphore(cluster.neat.history(), "sem", 1);
+    let timeline = cluster.neat.observe(&violations);
     GridOutcome {
         violations,
         trace: cluster.neat.world.trace().summary(),
+        timeline,
     }
 }
 
@@ -108,9 +112,11 @@ pub fn semaphore_reclaim_corruption(flaws: GridFlaws, seed: u64, record: bool) -
             "semaphore permits exceed capacity after the reclaimed holder's release",
         ));
     }
+    let timeline = cluster.neat.observe(&violations);
     GridOutcome {
         violations,
         trace: cluster.neat.world.trace().summary(),
+        timeline,
     }
 }
 
@@ -143,9 +149,11 @@ pub fn broken_atomics(flaws: GridFlaws, seed: u64, record: bool) -> GridOutcome 
         .copied()
         .unwrap_or(0);
     let violations = check_counter(cluster.neat.history(), "ctr", 0, final_value);
+    let timeline = cluster.neat.observe(&violations);
     GridOutcome {
         violations,
         trace: cluster.neat.world.trace().summary(),
+        timeline,
     }
 }
 
@@ -180,9 +188,11 @@ pub fn cache_stale_read(flaws: GridFlaws, seed: u64, record: bool) -> GridOutcom
         RegisterSemantics::Strong,
         &final_state,
     );
+    let timeline = cluster.neat.observe(&violations);
     GridOutcome {
         violations,
         trace: cluster.neat.world.trace().summary(),
+        timeline,
     }
 }
 
@@ -215,9 +225,11 @@ pub fn queue_double_dequeue(flaws: GridFlaws, seed: u64, record: bool) -> GridOu
             drained: None,
         }],
     );
+    let timeline = cluster.neat.observe(&violations);
     GridOutcome {
         violations,
         trace: cluster.neat.world.trace().summary(),
+        timeline,
     }
 }
 
@@ -255,9 +267,11 @@ pub fn set_loss_and_reappearance(flaws: GridFlaws, seed: u64, record: bool) -> G
     .into_iter()
     .collect();
     let violations = check_set(cluster.neat.history(), &final_state);
+    let timeline = cluster.neat.observe(&violations);
     GridOutcome {
         violations,
         trace: cluster.neat.world.trace().summary(),
+        timeline,
     }
 }
 
@@ -302,9 +316,11 @@ pub fn demotion_wipe_data_loss(mut flaws: GridFlaws, seed: u64, record: bool) ->
         neat::checkers::RegisterSemantics::Strong,
         &final_state,
     );
+    let timeline = cluster.neat.observe(&violations);
     GridOutcome {
         violations,
         trace: cluster.neat.world.trace().summary(),
+        timeline,
     }
 }
 
@@ -338,9 +354,11 @@ pub fn lasting_split(flaws: GridFlaws, seed: u64, record: bool) -> GridOutcome {
             ),
         ));
     }
+    let timeline = cluster.neat.observe(&violations);
     GridOutcome {
         violations,
         trace: cluster.neat.world.trace().summary(),
+        timeline,
     }
 }
 

@@ -28,7 +28,8 @@ fn usage() -> &'static str {
      \n\
      Default mode scans every .rs file under the workspace for the\n\
      determinism rules (hash-iteration, wall-clock, os-entropy,\n\
-     thread-spawn, unsafe-code, unwrap-expect). --audit instead runs\n\
+     thread-spawn, unsafe-code, unwrap-expect, println-in-lib).\n\
+     --audit instead runs\n\
      every registered scenario twice with the same seed and compares\n\
      the execution fingerprints; --jobs K shards the audit across K\n\
      fleet workers with byte-identical output."

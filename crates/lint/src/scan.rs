@@ -36,16 +36,24 @@ pub enum Rule {
     /// `.unwrap()`/`.expect()` in non-test code of the simulation crates.
     /// Either propagate a `Result` or annotate a genuine invariant.
     UnwrapExpect,
+    /// `println!`/`print!`/`eprintln!`/`eprint!` in library code: library
+    /// crates must emit through the `obs` layer or returned strings so
+    /// output stays part of the deterministic, testable byte stream. Bin
+    /// targets (`src/bin/`, `main.rs`) print freely;
+    /// `lint:allow(println-in-lib)` is honored only outside the
+    /// simulation crates (e.g. the vendored criterion shim).
+    PrintlnInLib,
 }
 
 impl Rule {
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 7] = [
         Rule::HashIteration,
         Rule::WallClock,
         Rule::OsEntropy,
         Rule::ThreadSpawn,
         Rule::UnsafeCode,
         Rule::UnwrapExpect,
+        Rule::PrintlnInLib,
     ];
 
     pub fn name(self) -> &'static str {
@@ -56,6 +64,7 @@ impl Rule {
             Rule::ThreadSpawn => "thread-spawn",
             Rule::UnsafeCode => "unsafe-code",
             Rule::UnwrapExpect => "unwrap-expect",
+            Rule::PrintlnInLib => "println-in-lib",
         }
     }
 
@@ -110,6 +119,9 @@ struct FileClass {
     /// Inside `crates/fleet` — the audited orchestration layer, the one
     /// crate whose `lint:allow(thread-spawn)` directives are honored.
     orchestration: bool,
+    /// A binary target (`src/bin/…`, any `main.rs`, `build.rs`): stdout
+    /// is its interface, so the print rule does not apply.
+    bin_like: bool,
 }
 
 fn classify(rel_path: &str) -> FileClass {
@@ -121,10 +133,14 @@ fn classify(rel_path: &str) -> FileClass {
         .split('/')
         .any(|seg| seg == "tests" || seg == "benches" || seg == "examples");
     let orchestration = rel_path.starts_with("crates/fleet/");
+    let bin_like = rel_path.split('/').any(|seg| seg == "bin")
+        || rel_path.ends_with("main.rs")
+        || rel_path.ends_with("build.rs");
     FileClass {
         strict,
         test_like,
         orchestration,
+        bin_like,
     }
 }
 
@@ -399,6 +415,12 @@ pub fn scan_source(rel_path: &str, source: &str) -> Vec<Finding> {
         if rule == Rule::ThreadSpawn && !class.orchestration && !class.test_like {
             return false;
         }
+        // Print escapes are scoped the same way: a simulation crate cannot
+        // waive the rule — only non-simulation library code (shims, the
+        // study data layer) may annotate audited exceptions.
+        if rule == Rule::PrintlnInLib && class.strict && !class.test_like {
+            return false;
+        }
         cleaned
             .allows
             .iter()
@@ -481,6 +503,21 @@ pub fn scan_source(rel_path: &str, source: &str) -> Vec<Finding> {
                     "`.spawn()`: scoped/builder spawns are still OS threads; the simulator \
                      is single-threaded"
                         .to_string(),
+                );
+            }
+            if !class.bin_like
+                && !class.test_like
+                && !cl.in_test
+                && matches!(ident, "println" | "print" | "eprintln" | "eprint")
+                && text[end..].trim_start().starts_with('!')
+            {
+                push(
+                    line,
+                    Rule::PrintlnInLib,
+                    format!(
+                        "`{ident}!` in library code; emit through the obs layer or return \
+                         strings — stdout belongs to bin targets"
+                    ),
                 );
             }
             if class.strict
@@ -719,6 +756,44 @@ mod tests {
         assert_eq!(rules(&scan_source(STRICT_FILE, src)), vec![Rule::ThreadSpawn]);
         assert_eq!(rules(&scan_source(LOOSE_FILE, src)), vec![Rule::ThreadSpawn]);
         assert_eq!(rules(&scan_source("src/campaign.rs", src)), vec![Rule::ThreadSpawn]);
+    }
+
+    #[test]
+    fn print_macros_fire_in_library_code_only() {
+        let src = "fn f() { println!(\"x\"); }\nfn g() { eprint!(\"y\"); }\n";
+        assert_eq!(
+            rules(&scan_source(STRICT_FILE, src)),
+            vec![Rule::PrintlnInLib, Rule::PrintlnInLib]
+        );
+        assert_eq!(rules(&scan_source(LOOSE_FILE, src)), vec![Rule::PrintlnInLib, Rule::PrintlnInLib]);
+        // Bin targets own stdout.
+        assert!(scan_source("crates/bench/src/bin/campaign.rs", src).is_empty());
+        assert!(scan_source("crates/lint/src/main.rs", src).is_empty());
+        // Tests and examples print freely.
+        assert!(scan_source("crates/simnet/tests/t.rs", src).is_empty());
+        assert!(scan_source("examples/demo.rs", src).is_empty());
+    }
+
+    #[test]
+    fn print_calls_without_bang_do_not_fire() {
+        let src = "fn f(p: &Printer) { p.print(); report.println(1); }\n";
+        assert!(scan_source(STRICT_FILE, src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_blocks_may_print() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { println!(\"dbg\"); }\n}\n";
+        assert!(scan_source(STRICT_FILE, src).is_empty());
+    }
+
+    #[test]
+    fn println_allows_are_ignored_in_simulation_crates() {
+        let src = "// lint:allow(println-in-lib)\nfn f() { println!(\"x\"); }\n";
+        // Non-simulation library code may annotate audited exceptions…
+        assert!(scan_source("crates/shims/criterion/src/lib.rs", src).is_empty());
+        // …but a simulation crate cannot waive the rule.
+        assert_eq!(rules(&scan_source(STRICT_FILE, src)), vec![Rule::PrintlnInLib]);
+        assert_eq!(rules(&scan_source("src/campaign.rs", src)), vec![Rule::PrintlnInLib]);
     }
 
     #[test]

@@ -17,6 +17,8 @@ use crate::{
 pub struct MqOutcome {
     pub violations: Vec<Violation>,
     pub trace: String,
+    /// Typed observability timeline (faults, ops, verdicts; see `obs`).
+    pub timeline: neat::obs::Timeline,
 }
 
 impl MqOutcome {
@@ -66,9 +68,11 @@ pub fn fig6_hang(flaws: BrokerFlaws, seed: u64, record: bool) -> MqOutcome {
              operation timed out although a majority of brokers was healthy",
         ));
     }
+    let timeline = cluster.neat.observe(&violations);
     MqOutcome {
         violations,
         trace: cluster.neat.world.trace().summary(),
+        timeline,
     }
 }
 
@@ -113,9 +117,11 @@ pub fn listing2_double_dequeue(flaws: BrokerFlaws, seed: u64, record: bool) -> M
             drained: drained.and_then(|(vals, complete)| complete.then_some(vals)),
         }],
     );
+    let timeline = cluster.neat.observe(&violations);
     MqOutcome {
         violations,
         trace: cluster.neat.world.trace().summary(),
+        timeline,
     }
 }
 
@@ -151,9 +157,11 @@ pub fn deadlock_on_demotion(flaws: BrokerFlaws, seed: u64, record: bool) -> MqOu
             "old master deadlocked on demotion; it stays dead after the heal",
         ));
     }
+    let timeline = cluster.neat.observe(&violations);
     MqOutcome {
         violations,
         trace: cluster.neat.world.trace().summary(),
+        timeline,
     }
 }
 
@@ -193,9 +201,11 @@ pub fn kafka_acked_message_loss(flaws: BrokerFlaws, seed: u64, record: bool) -> 
             drained: drained.and_then(|(vals, complete)| complete.then_some(vals)),
         }],
     );
+    let timeline = cluster.neat.observe(&violations);
     MqOutcome {
         violations,
         trace: cluster.neat.world.trace().summary(),
+        timeline,
     }
 }
 
@@ -242,9 +252,11 @@ pub fn autocluster_split(flaws: AcFlaws, seed: u64, record: bool) -> MqOutcome {
             drained: drained.1.then_some(drained.0),
         }],
     ));
+    let timeline = cluster.neat.observe(&violations);
     MqOutcome {
         violations,
         trace: cluster.neat.world.trace().summary(),
+        timeline,
     }
 }
 

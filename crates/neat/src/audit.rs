@@ -7,8 +7,11 @@
 //! fingerprinting executions and comparing double-runs. A scenario is
 //! audited by running it twice with the identical seed and hashing
 //! everything observable about each run — the `simnet` trace log, the
-//! operation history, checker verdicts, final state. Any hash mismatch is
-//! a determinism bug, reported with the first diverging line.
+//! operation history, checker verdicts, final state, and (since the
+//! forensics layer landed) the full `obs` event timeline. Any hash
+//! mismatch is a determinism bug, reported with the first diverging line.
+
+#![deny(missing_docs)]
 
 /// 64-bit FNV-1a over raw bytes. Stable across platforms and runs; not
 /// cryptographic — collisions between *intentionally different* traces are
@@ -34,8 +37,9 @@ pub struct Divergence {
     pub scenario: String,
     /// Seed both runs used.
     pub seed: u64,
-    /// Fingerprint hashes of the two runs.
+    /// Fingerprint hash of the first run.
     pub hash_a: u64,
+    /// Fingerprint hash of the second run.
     pub hash_b: u64,
     /// The first line at which the rendered fingerprints differ — the
     /// actual debugging handle, since the hashes only say "different".
@@ -90,6 +94,7 @@ pub struct AuditOutcome {
 }
 
 impl AuditOutcome {
+    /// `true` when both runs produced the identical fingerprint.
     pub fn is_ok(&self) -> bool {
         self.result.is_ok()
     }

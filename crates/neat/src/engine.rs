@@ -4,6 +4,7 @@
 use simnet::{Application, NodeId, SimError, Time, World};
 
 use crate::{
+    checkers::Violation,
     fault::{Partition, PartitionSpec},
     history::{History, OpRecord},
 };
@@ -26,17 +27,24 @@ pub struct Neat<A: Application> {
     pub world: World<A>,
     history: History,
     active: Vec<Partition>,
+    obs: obs::Recorder,
     /// Timeout applied by [`Neat::run_op`], in virtual milliseconds.
     pub op_timeout: Time,
 }
 
 impl<A: Application> Neat<A> {
     /// Wraps a world with the default 1000 ms operation timeout.
+    ///
+    /// The observability recorder inherits the world's `record_trace`
+    /// flag, so one switch governs both the simnet event log and the
+    /// typed `obs` timeline.
     pub fn new(world: World<A>) -> Self {
+        let obs = obs::Recorder::new(world.trace().recording());
         Self {
             world,
             history: History::new(),
             active: Vec::new(),
+            obs,
             op_timeout: 1000,
         }
     }
@@ -46,15 +54,39 @@ impl<A: Application> Neat<A> {
         &self.history
     }
 
-    /// Appends a record to the history (called by system client wrappers).
+    /// The observability recorder (counters and typed events so far).
+    pub fn obs(&self) -> &obs::Recorder {
+        &self.obs
+    }
+
+    /// Appends a record to the history (called by system client wrappers)
+    /// and mirrors it into the observability stream.
     pub fn record(&mut self, rec: OpRecord) {
+        self.obs.op(
+            rec.start,
+            rec.end,
+            rec.client,
+            rec.op.key().to_string(),
+            format!("{:?}", rec.op),
+            format!("{:?}", rec.outcome),
+        );
         self.history.push(rec);
     }
 
     /// Installs a partition described by `spec` and returns a handle for
     /// healing it.
     pub fn partition(&mut self, spec: PartitionSpec) -> Partition {
+        let (class, a, b) = match &spec {
+            PartitionSpec::Complete { a, b } => (obs::PartitionClass::Complete, a.clone(), b.clone()),
+            PartitionSpec::Partial { a, b } => (obs::PartitionClass::Partial, a.clone(), b.clone()),
+            PartitionSpec::Simplex { src, dst } => {
+                (obs::PartitionClass::Simplex, src.clone(), dst.clone())
+            }
+        };
+        let pairs = spec.pairs().len();
         let rule = self.world.block_pairs(spec.pairs());
+        self.obs
+            .partition_installed(self.world.now(), rule.0, class, a, b, pairs);
         let p = Partition { rule, spec };
         self.active.push(p.clone());
         p
@@ -86,6 +118,9 @@ impl<A: Application> Neat<A> {
 
     /// Heals one partition. Healing twice is a no-op.
     pub fn heal(&mut self, p: &Partition) {
+        if self.active.iter().any(|q| q.rule == p.rule) {
+            self.obs.partition_healed(self.world.now(), p.rule.0);
+        }
         self.world.unblock(p.rule);
         self.active.retain(|q| q.rule != p.rule);
     }
@@ -93,6 +128,7 @@ impl<A: Application> Neat<A> {
     /// Heals every partition installed through this engine.
     pub fn heal_all(&mut self) {
         for p in std::mem::take(&mut self.active) {
+            self.obs.partition_healed(self.world.now(), p.rule.0);
             self.world.unblock(p.rule);
         }
     }
@@ -105,14 +141,20 @@ impl<A: Application> Neat<A> {
     /// Crashes every node in `nodes`. Nodes already down are skipped.
     pub fn crash(&mut self, nodes: &[NodeId]) {
         for &n in nodes {
-            let _ = self.world.crash(n);
+            if self.world.crash(n).is_ok() {
+                self.obs.crashed(self.world.now(), n);
+            }
         }
     }
 
     /// Restarts every node in `nodes`. Nodes already up are skipped.
     pub fn restart(&mut self, nodes: &[NodeId]) {
         for &n in nodes {
-            let _ = self.world.restart(n);
+            // `World::restart` is Ok for already-live nodes; only genuine
+            // transitions become observability events.
+            if !self.world.is_alive(n) && self.world.restart(n).is_ok() {
+                self.obs.restarted(self.world.now(), n);
+            }
         }
     }
 
@@ -125,6 +167,26 @@ impl<A: Application> Neat<A> {
     /// Current virtual time.
     pub fn now(&self) -> Time {
         self.world.now()
+    }
+
+    /// Records `violations` as verdict events and returns the run's
+    /// [`obs::Timeline`]: every fault, operation, and verdict in
+    /// virtual-time order, application notes merged in from the simnet
+    /// trace, and the fabric counters folded into [`obs::Counters`].
+    ///
+    /// Call once per run, after the checkers — the idiom every scenario
+    /// outcome uses to fill its `timeline` field.
+    pub fn observe(&mut self, violations: &[Violation]) -> obs::Timeline {
+        let now = self.world.now();
+        for v in violations {
+            self.obs.verdict(now, v.kind.to_string(), v.details.clone());
+        }
+        self.timeline()
+    }
+
+    /// Snapshot of the observability timeline without recording verdicts.
+    pub fn timeline(&self) -> obs::Timeline {
+        self.obs.timeline(self.world.trace())
     }
 
     /// Runs one asynchronous client operation to completion.
@@ -261,6 +323,50 @@ mod tests {
         let mut neat = engine(1);
         neat.sleep(123);
         assert_eq!(neat.now(), 123);
+    }
+
+    #[test]
+    fn observability_counters_mirror_engine_actions() {
+        let mut neat = engine(3);
+        let p = neat.partition_complete(&[NodeId(0)], &[NodeId(1)]);
+        neat.heal(&p);
+        neat.heal(&p); // second heal: no extra event
+        neat.crash(&[NodeId(1)]);
+        neat.crash(&[NodeId(1)]); // already down: skipped
+        neat.restart(&[NodeId(1)]);
+        neat.restart(&[NodeId(1)]); // already up: skipped
+        let t = neat.observe(&[]);
+        assert_eq!(t.counters.partitions_installed, 1);
+        assert_eq!(t.counters.heals, 1);
+        assert_eq!(t.counters.crashes, 1);
+        assert_eq!(t.counters.restarts, 1);
+        assert!(t.is_empty(), "recording off ⇒ counters only, no events");
+    }
+
+    #[test]
+    fn recorded_runs_produce_ordered_timelines() {
+        let world = WorldBuilder::new(5).record_trace(true).build(2, |_| AckServer::default());
+        let mut neat = Neat::new(world);
+        assert!(neat.obs().enabled());
+        neat.sleep(10);
+        let p = neat.partition_complete(&[NodeId(0)], &[NodeId(1)]);
+        neat.sleep(10);
+        neat.heal(&p);
+        neat.record(crate::history::OpRecord {
+            client: NodeId(0),
+            op: crate::history::Op::Read { key: "k".into() },
+            outcome: crate::history::Outcome::Timeout,
+            start: 12,
+            end: 25,
+        });
+        let t = neat.observe(&[crate::checkers::Violation {
+            kind: crate::checkers::ViolationKind::DataUnavailability,
+            details: "k never answered".into(),
+        }]);
+        let labels: Vec<&str> = t.events.iter().map(|e| e.label()).collect();
+        assert_eq!(labels, vec!["partition", "op", "heal", "verdict"]);
+        assert_eq!(t.counters.verdicts, 1);
+        assert_eq!(t.counters.ops_ordered, 1);
     }
 
     #[test]

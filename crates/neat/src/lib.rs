@@ -55,6 +55,8 @@
 //! assert!(engine.active_partitions().is_empty());
 //! ```
 
+pub use obs;
+
 pub mod audit;
 pub mod checkers;
 pub mod engine;

@@ -1,0 +1,167 @@
+//! The engine-side event sink.
+
+use simnet::{trace::Trace, NodeId, Time};
+
+use crate::{Counters, Event, PartitionClass, Timeline};
+
+/// Collects [`Event`]s and maintains [`Counters`] during a run.
+///
+/// Mirrors the recording discipline of [`simnet::trace::Trace`]: counters
+/// are always maintained (they are cheap and the machine-readable exports
+/// want them for every run), while the per-event stream is only kept when
+/// `enabled` — which the engine ties to the world's `record_trace` flag,
+/// so one switch governs both layers.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    enabled: bool,
+    events: Vec<Event>,
+    counters: Counters,
+}
+
+impl Recorder {
+    /// Creates a recorder; `enabled` gates per-event recording.
+    pub fn new(enabled: bool) -> Self {
+        Recorder {
+            enabled,
+            events: Vec::new(),
+            counters: Counters::default(),
+        }
+    }
+
+    /// Whether per-event recording is on.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Events recorded so far (empty unless enabled).
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Counters maintained so far (live even when recording is off).
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    fn push(&mut self, ev: Event) {
+        if self.enabled {
+            self.events.push(ev);
+        }
+    }
+
+    /// Records a partition install.
+    pub fn partition_installed(
+        &mut self,
+        at: Time,
+        rule: u64,
+        kind: PartitionClass,
+        a: Vec<NodeId>,
+        b: Vec<NodeId>,
+        pairs: usize,
+    ) {
+        self.counters.partitions_installed += 1;
+        self.push(Event::PartitionInstalled { at, rule, kind, a, b, pairs });
+    }
+
+    /// Records a partition heal.
+    pub fn partition_healed(&mut self, at: Time, rule: u64) {
+        self.counters.heals += 1;
+        self.push(Event::PartitionHealed { at, rule });
+    }
+
+    /// Records an injected node crash.
+    pub fn crashed(&mut self, at: Time, node: NodeId) {
+        self.counters.crashes += 1;
+        self.push(Event::Crashed { at, node });
+    }
+
+    /// Records an injected node restart.
+    pub fn restarted(&mut self, at: Time, node: NodeId) {
+        self.counters.restarts += 1;
+        self.push(Event::Restarted { at, node });
+    }
+
+    /// Records one completed (or timed-out) client operation.
+    pub fn op(
+        &mut self,
+        start: Time,
+        end: Time,
+        client: NodeId,
+        key: String,
+        desc: String,
+        outcome: String,
+    ) {
+        self.counters.ops_ordered += 1;
+        self.push(Event::Op { start, end, client, key, desc, outcome });
+    }
+
+    /// Records one checker verdict.
+    pub fn verdict(&mut self, at: Time, kind: String, details: String) {
+        self.counters.verdicts += 1;
+        self.push(Event::Verdict { at, kind, details });
+    }
+
+    /// Records a free-form note (used when merging application notes).
+    pub fn note(&mut self, at: Time, node: NodeId, text: String) {
+        self.push(Event::Note { at, node, text });
+    }
+
+    /// Snapshots the recorder alone into a [`Timeline`] (events sorted by
+    /// virtual time, insertion order preserved within a tick).
+    pub fn snapshot(&self) -> Timeline {
+        let mut events = self.events.clone();
+        events.sort_by_key(Event::at); // stable: same-tick order is insertion order
+        Timeline {
+            events,
+            counters: self.counters,
+        }
+    }
+
+    /// Snapshots the recorder and folds in the run's [`simnet`] trace:
+    /// application notes become [`Event::Note`]s and the fabric counters
+    /// fill [`Counters::events_simulated`] / [`Counters::messages_dropped`].
+    pub fn timeline(&self, trace: &Trace) -> Timeline {
+        let mut t = self.snapshot();
+        if self.enabled {
+            for ev in trace.events() {
+                if let simnet::trace::TraceEvent::Note { at, node, text } = ev {
+                    t.events.push(Event::Note {
+                        at: *at,
+                        node: *node,
+                        text: text.clone(),
+                    });
+                }
+            }
+            t.events.sort_by_key(Event::at);
+        }
+        let c = &trace.counters;
+        t.counters.events_simulated = c.delivered + c.timers_fired;
+        t.counters.messages_dropped = c.dropped_partition + c.dropped_flaky + c.dropped_dead;
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_live_even_when_disabled() {
+        let mut r = Recorder::new(false);
+        r.partition_installed(1, 0, PartitionClass::Complete, vec![NodeId(0)], vec![NodeId(1)], 2);
+        r.op(2, 3, NodeId(0), "k".into(), "Read".into(), "Timeout".into());
+        assert!(r.events().is_empty(), "recording gate ignored");
+        assert_eq!(r.counters().partitions_installed, 1);
+        assert_eq!(r.counters().ops_ordered, 1);
+    }
+
+    #[test]
+    fn snapshot_orders_by_virtual_time() {
+        let mut r = Recorder::new(true);
+        r.verdict(50, "data loss".into(), "k".into());
+        r.partition_installed(10, 0, PartitionClass::Complete, vec![NodeId(0)], vec![NodeId(1)], 2);
+        let t = r.snapshot();
+        assert_eq!(t.events[0].at(), 10);
+        assert_eq!(t.events[1].at(), 50);
+    }
+}

@@ -1,0 +1,227 @@
+//! An ordered snapshot of one run's observability stream.
+
+use simnet::Time;
+use study::json::push_json_str;
+
+use crate::{Counters, Event};
+
+/// The events of one run in virtual-time order, plus aggregate counters.
+///
+/// `Timeline` derives `Debug` and `PartialEq` so outcome structs that
+/// embed one fold the whole event stream into their `format!("{:#?}")`
+/// execution fingerprints — the double-run auditor then enforces
+/// byte-identity of traces, not just of verdicts.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Timeline {
+    /// Events in virtual-time order (empty unless recording was enabled).
+    pub events: Vec<Event>,
+    /// Aggregate counters, live even for unrecorded runs.
+    pub counters: Counters,
+}
+
+/// The lifetime of one installed partition: `(rule, install, heal)`.
+/// `heal` is `None` when the fault was still active at the end of the run.
+pub type FaultWindow = (u64, Time, Option<Time>);
+
+impl Timeline {
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// One [`Event`] display line per event.
+    pub fn render(&self) -> String {
+        self.events.iter().map(|e| format!("{e}\n")).collect()
+    }
+
+    /// The lifetime of every partition installed during the run, in
+    /// install order.
+    pub fn fault_windows(&self) -> Vec<FaultWindow> {
+        let mut windows: Vec<FaultWindow> = Vec::new();
+        for ev in &self.events {
+            match ev {
+                Event::PartitionInstalled { at, rule, .. } => {
+                    windows.push((*rule, *at, None));
+                }
+                Event::PartitionHealed { at, rule } => {
+                    if let Some(w) = windows
+                        .iter_mut()
+                        .find(|w| w.0 == *rule && w.2.is_none())
+                    {
+                        w.2 = Some(*at);
+                    }
+                }
+                _ => {}
+            }
+        }
+        windows
+    }
+
+    /// Client operations whose `[start, end]` interval overlaps at least
+    /// one fault window — the "ops in flight" of the forensic narrative.
+    pub fn ops_in_flight(&self) -> Vec<&Event> {
+        let windows = self.fault_windows();
+        self.events
+            .iter()
+            .filter(|e| match e {
+                Event::Op { start, end, .. } => windows
+                    .iter()
+                    .any(|(_, from, to)| *start <= to.unwrap_or(Time::MAX) && *end >= *from),
+                _ => false,
+            })
+            .collect()
+    }
+
+    /// The first operation whose key is named by a verdict's evidence — a
+    /// heuristic for the "first divergent read" of the paper's listings.
+    /// `None` when there is no verdict or no op touches a blamed key.
+    pub fn first_divergent_op(&self) -> Option<&Event> {
+        let evidence: Vec<&str> = self
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Verdict { details, .. } => Some(details.as_str()),
+                _ => None,
+            })
+            .collect();
+        if evidence.is_empty() {
+            return None;
+        }
+        self.events.iter().find(|e| match e {
+            Event::Op { key, .. } => {
+                !key.is_empty() && evidence.iter().any(|d| d.contains(key.as_str()))
+            }
+            _ => false,
+        })
+    }
+
+    /// Appends one JSONL line per event: `{"scenario":...,"seq":N,...}`.
+    ///
+    /// The schema is flat and stable; see EXPERIMENTS.md "Forensics" for
+    /// the field meanings.
+    pub fn write_jsonl(&self, scenario: &str, out: &mut String) {
+        for (seq, ev) in self.events.iter().enumerate() {
+            out.push_str("{\"scenario\":");
+            push_json_str(out, scenario);
+            out.push_str(&format!(",\"seq\":{seq},\"type\":\"{}\"", ev.label()));
+            match ev {
+                Event::PartitionInstalled { at, rule, kind, a, b, pairs } => {
+                    out.push_str(&format!(",\"at\":{at},\"rule\":{rule},\"kind\":\"{kind}\""));
+                    let ids = |out: &mut String, name: &str, g: &[simnet::NodeId]| {
+                        out.push_str(&format!(",\"{name}\":["));
+                        for (i, n) in g.iter().enumerate() {
+                            if i > 0 {
+                                out.push(',');
+                            }
+                            out.push_str(&n.0.to_string());
+                        }
+                        out.push(']');
+                    };
+                    ids(out, "a", a);
+                    ids(out, "b", b);
+                    out.push_str(&format!(",\"pairs\":{pairs}"));
+                }
+                Event::PartitionHealed { at, rule } => {
+                    out.push_str(&format!(",\"at\":{at},\"rule\":{rule}"));
+                }
+                Event::Crashed { at, node } | Event::Restarted { at, node } => {
+                    out.push_str(&format!(",\"at\":{at},\"node\":{}", node.0));
+                }
+                Event::Op { start, end, client, key, desc, outcome } => {
+                    out.push_str(&format!(",\"start\":{start},\"end\":{end},\"client\":{}", client.0));
+                    out.push_str(",\"key\":");
+                    push_json_str(out, key);
+                    out.push_str(",\"op\":");
+                    push_json_str(out, desc);
+                    out.push_str(",\"outcome\":");
+                    push_json_str(out, outcome);
+                }
+                Event::Verdict { at, kind, details } => {
+                    out.push_str(&format!(",\"at\":{at},\"kind\":"));
+                    push_json_str(out, kind);
+                    out.push_str(",\"details\":");
+                    push_json_str(out, details);
+                }
+                Event::Note { at, node, text } => {
+                    out.push_str(&format!(",\"at\":{at},\"node\":{},\"text\":", node.0));
+                    push_json_str(out, text);
+                }
+            }
+            out.push_str("}\n");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PartitionClass, Recorder};
+    use simnet::NodeId;
+
+    fn sample() -> Timeline {
+        let mut r = Recorder::new(true);
+        r.partition_installed(600, 0, PartitionClass::Partial, vec![NodeId(0)], vec![NodeId(1)], 2);
+        r.op(700, 705, NodeId(1), "obj1".into(), "Write { .. }".into(), "Ok(None)".into());
+        r.partition_healed(1450, 0);
+        r.op(2000, 2001, NodeId(0), "other".into(), "Read { .. }".into(), "Ok(None)".into());
+        r.verdict(2100, "data loss".into(), "acked write obj1=1 missing".into());
+        r.snapshot()
+    }
+
+    #[test]
+    fn fault_windows_pair_install_with_heal() {
+        let t = sample();
+        assert_eq!(t.fault_windows(), vec![(0, 600, Some(1450))]);
+    }
+
+    #[test]
+    fn unhealed_partitions_stay_open() {
+        let mut r = Recorder::new(true);
+        r.partition_installed(5, 3, PartitionClass::Complete, vec![NodeId(0)], vec![NodeId(1)], 2);
+        assert_eq!(r.snapshot().fault_windows(), vec![(3, 5, None)]);
+    }
+
+    #[test]
+    fn ops_in_flight_overlap_fault_windows() {
+        let t = sample();
+        let inflight = t.ops_in_flight();
+        assert_eq!(inflight.len(), 1, "only the op inside the window overlaps");
+        assert!(matches!(inflight[0], Event::Op { key, .. } if key == "obj1"));
+    }
+
+    #[test]
+    fn first_divergent_op_matches_verdict_evidence() {
+        let t = sample();
+        let op = t.first_divergent_op().expect("divergent op");
+        assert!(matches!(op, Event::Op { key, .. } if key == "obj1"));
+    }
+
+    #[test]
+    fn jsonl_has_one_line_per_event_and_escapes() {
+        let mut t = sample();
+        t.events.push(Event::Note {
+            at: 2200,
+            node: NodeId(0),
+            text: "quote \" here".into(),
+        });
+        let mut out = String::new();
+        t.write_jsonl("demo", &mut out);
+        assert_eq!(out.lines().count(), t.len());
+        assert!(out.contains("\"type\":\"partition\""));
+        assert!(out.contains("\"scenario\":\"demo\""));
+        assert!(out.contains("quote \\\" here"));
+    }
+
+    #[test]
+    fn render_is_one_line_per_event() {
+        let t = sample();
+        assert_eq!(t.render().lines().count(), t.len());
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 5);
+    }
+}

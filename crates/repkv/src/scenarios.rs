@@ -30,6 +30,8 @@ pub struct ScenarioOutcome {
     pub final_state: BTreeMap<String, Option<u64>>,
     /// Rendered operation history, one line per op.
     pub history: String,
+    /// Typed observability timeline (faults, ops, verdicts; see `obs`).
+    pub timeline: neat::obs::Timeline,
 }
 
 impl ScenarioOutcome {
@@ -47,19 +49,21 @@ impl ScenarioOutcome {
     }
 }
 
-fn finish(cluster: &Cluster, keys: &[&str]) -> ScenarioOutcome {
+fn finish(cluster: &mut Cluster, keys: &[&str]) -> ScenarioOutcome {
     let final_state = cluster.final_state(keys);
     let violations = check_register(
         cluster.neat.history(),
         RegisterSemantics::Strong,
         &final_state,
     );
+    let timeline = cluster.neat.observe(&violations);
     ScenarioOutcome {
         violations,
         elections: cluster.total_elections(),
         trace: cluster.neat.world.trace().summary(),
         final_state,
         history: cluster.neat.history().render(),
+        timeline,
     }
 }
 
@@ -120,7 +124,7 @@ pub fn dirty_and_stale_read(mut config: Config, seed: u64, record: bool) -> Scen
 
     cluster.neat.heal(&p);
     cluster.settle(2000);
-    finish(&cluster, &["dirty_key", "stale_key"])
+    finish(&mut cluster, &["dirty_key", "stale_key"])
 }
 
 /// ENG-10486: the longest-log election criterion lets an old minority
@@ -164,7 +168,7 @@ pub fn longest_log_data_loss(mut config: Config, seed: u64, record: bool) -> Sce
 
     cluster.neat.heal(&p);
     cluster.settle(2000);
-    finish(&cluster, &["k1", "k2", "k3", "k4", "k5"])
+    finish(&mut cluster, &["k1", "k2", "k3", "k4", "k5"])
 }
 
 /// Listing 1: a partial partition with an intersecting bridge node yields
@@ -200,7 +204,7 @@ pub fn listing1_data_loss(config: Config, seed: u64, record: bool) -> ScenarioOu
     c2.read(&mut cluster.neat, "obj1");
     c2.read(&mut cluster.neat, "obj2");
 
-    finish(&cluster, &["obj1", "obj2"])
+    finish(&mut cluster, &["obj1", "obj2"])
 }
 
 /// Issue #9967: a simplex partition drops the primary→coordinator
@@ -230,18 +234,17 @@ pub fn coordinator_double_execution(config: Config, seed: u64, record: bool) -> 
     let c2 = cluster.client(1).via(leader_now);
     c2.read(&mut cluster.neat, "w");
 
-    let mut outcome = finish(&cluster, &["w"]);
+    let mut outcome = finish(&mut cluster, &["w"]);
     let final_counter = cluster
         .kv_of(leader_now)
         .get("counter")
         .copied()
         .unwrap_or(0);
-    outcome.violations.extend(check_counter(
-        cluster.neat.history(),
-        "counter",
-        0,
-        final_counter,
-    ));
+    let extra = check_counter(cluster.neat.history(), "counter", 0, final_counter);
+    if !extra.is_empty() {
+        outcome.timeline = cluster.neat.observe(&extra);
+    }
+    outcome.violations.extend(extra);
     // Without request routing the operations are refused up front and
     // nothing double-executes; with it, the counter shows the flaw.
     let _ = coordinator_routing;
@@ -266,7 +269,7 @@ pub fn async_replication_data_loss(mut config: Config, seed: u64, record: bool) 
     cluster.settle(600);
     cluster.neat.heal(&p);
     cluster.settle(2000);
-    finish(&cluster, &["k"])
+    finish(&mut cluster, &["k"])
 }
 
 /// Aerospike [140]-style: the latest-operation-timestamp consolidation
@@ -313,7 +316,7 @@ pub fn timestamp_consolidation_reappearance(
 
     cluster.neat.heal(&p);
     cluster.settle(2000);
-    finish(&cluster, &["doomed"])
+    finish(&mut cluster, &["doomed"])
 }
 
 /// SERVER-14885: a replica with absolute election priority vetoes every
@@ -341,12 +344,14 @@ pub fn priority_livelock(config: Config, seed: u64, record: bool) -> ScenarioOut
     cluster.neat.heal(&p);
     cluster.settle(2000);
 
-    let mut outcome = finish(&cluster, &[]);
+    let mut outcome = finish(&mut cluster, &[]);
     if majority_leader.is_none() && !w.is_ok() {
-        outcome.violations.push(Violation::new(
+        let v = Violation::new(
             ViolationKind::DataUnavailability,
             "majority side could not elect a leader; writes unavailable for the whole partition",
-        ));
+        );
+        outcome.timeline = cluster.neat.observe(std::slice::from_ref(&v));
+        outcome.violations.push(v);
     }
     outcome
 }
@@ -376,16 +381,18 @@ pub fn arbiter_thrashing(mut config: Config, seed: u64, record: bool) -> Scenari
     cluster.neat.heal(&p);
     cluster.settle(1500);
 
-    let mut outcome = finish(&cluster, &[]);
+    let mut outcome = finish(&mut cluster, &[]);
     outcome.elections = thrash;
     if thrash >= 4 {
-        outcome.violations.push(Violation::new(
+        let v = Violation::new(
             ViolationKind::Other,
             format!(
                 "leadership thrashed {thrash} times during the partial partition \
                  (availability degradation, §4.4)"
             ),
-        ));
+        );
+        outcome.timeline = cluster.neat.observe(std::slice::from_ref(&v));
+        outcome.violations.push(v);
     }
     outcome
 }

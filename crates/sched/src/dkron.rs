@@ -217,7 +217,7 @@ impl DkCluster {
 
 /// dkron #379: partial partition leader | followers (client bridges); the
 /// job runs but is reported failed; the client's retry runs it twice.
-pub fn misleading_status(flaws: DkFlaws, seed: u64, record: bool) -> (Vec<Violation>, String) {
+pub fn misleading_status(flaws: DkFlaws, seed: u64, record: bool) -> (Vec<Violation>, String, neat::obs::Timeline) {
     let mut cluster = DkCluster::build(flaws, seed, record);
     cluster.neat.sleep(50);
 
@@ -244,7 +244,8 @@ pub fn misleading_status(flaws: DkFlaws, seed: u64, record: bool) -> (Vec<Violat
             ),
         ));
     }
-    (violations, cluster.neat.world.trace().summary())
+    let timeline = cluster.neat.observe(&violations);
+    (violations, cluster.neat.world.trace().summary(), timeline)
 }
 
 #[cfg(test)]
@@ -267,7 +268,7 @@ mod tests {
 
     #[test]
     fn misleading_status_with_the_flaw() {
-        let (violations, _) = misleading_status(
+        let (violations, _, _) = misleading_status(
             DkFlaws {
                 status_requires_peer_ack: true,
             },
@@ -282,7 +283,7 @@ mod tests {
 
     #[test]
     fn truthful_status_when_fixed() {
-        let (violations, _) = misleading_status(
+        let (violations, _, _) = misleading_status(
             DkFlaws {
                 status_requires_peer_ack: false,
             },

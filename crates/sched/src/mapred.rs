@@ -481,7 +481,7 @@ impl MrCluster {
 
 /// Figure 3: submit a job, partially partition the AppMaster's node from
 /// the ResourceManager mid-run, and count how many times the job executed.
-pub fn double_execution(flaws: MrFlaws, seed: u64, record: bool) -> (Vec<Violation>, String) {
+pub fn double_execution(flaws: MrFlaws, seed: u64, record: bool) -> (Vec<Violation>, String, neat::obs::Timeline) {
     let mut cluster = MrCluster::build(flaws, seed, record);
     cluster.submit(7);
     cluster.neat.sleep(150); // the AM is placed and running
@@ -517,7 +517,8 @@ pub fn double_execution(flaws: MrFlaws, seed: u64, record: bool) -> (Vec<Violati
             "the job never produced a result",
         ));
     }
-    (violations, cluster.neat.world.trace().summary())
+    let timeline = cluster.neat.observe(&violations);
+    (violations, cluster.neat.world.trace().summary(), timeline)
 }
 
 #[cfg(test)]
@@ -541,7 +542,7 @@ mod tests {
 
     #[test]
     fn fig3_double_execution_with_the_flaw() {
-        let (violations, _) = double_execution(
+        let (violations, _, _) = double_execution(
             MrFlaws {
                 relaunch_without_checking: true,
             },
@@ -560,7 +561,7 @@ mod tests {
 
     #[test]
     fn fig3_single_execution_when_fixed() {
-        let (violations, _) = double_execution(
+        let (violations, _, _) = double_execution(
             MrFlaws {
                 relaunch_without_checking: false,
             },

@@ -134,6 +134,7 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f:
         f(&mut b);
     }
     if b.samples.is_empty() {
+        // lint:allow(println-in-lib) -- audited: the bench harness's whole job is stdout
         println!("bench {label:<48} (no samples: body never called Bencher::iter)");
         return;
     }
@@ -142,6 +143,7 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f:
     let median = b.samples[b.samples.len() / 2];
     let total: Duration = b.samples.iter().sum();
     let mean = total / b.samples.len() as u32;
+    // lint:allow(println-in-lib) -- audited: the bench harness's whole job is stdout
     println!(
         "bench {label:<48} min {:>10?}  median {:>10?}  mean {:>10?}  ({} samples)",
         min,

@@ -47,7 +47,7 @@ pub mod world;
 
 pub use event::{Time, TimerId};
 pub use net::{BlockRuleId, LinkConfig};
-pub use trace::{Trace, TraceEvent};
+pub use trace::{Span, Trace, TraceEvent};
 pub use world::{Application, Ctx, SimError, World, WorldBuilder};
 
 /// Identifier of a simulated node (server, client, or auxiliary service).

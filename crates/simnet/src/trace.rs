@@ -4,6 +4,10 @@
 //! The full per-event trace is off by default and enabled with
 //! [`crate::WorldBuilder::record_trace`]; the figure reproductions use it to
 //! print manifestation sequences like the paper's Figures 2, 3, 5, and 6.
+//! [`Trace::spans`] derives typed intervals (partition lifetimes, node
+//! down-times) from the event stream for the forensics layer (`obs`).
+
+#![deny(missing_docs)]
 
 use crate::{event::Time, net::BlockRuleId, NodeId};
 
@@ -38,58 +42,86 @@ impl std::fmt::Display for DropReason {
 pub enum TraceEvent {
     /// A message entered the fabric.
     Sent {
+        /// Virtual send time.
         at: Time,
+        /// Sender.
         from: NodeId,
+        /// Addressee.
         to: NodeId,
+        /// Rendered message payload.
         what: String,
     },
     /// A message reached its destination handler.
     Delivered {
+        /// Virtual delivery time.
         at: Time,
+        /// Sender.
         from: NodeId,
+        /// Receiver.
         to: NodeId,
+        /// Rendered message payload.
         what: String,
     },
     /// A message was dropped.
     Dropped {
+        /// Virtual time the drop was decided (delivery time).
         at: Time,
+        /// Sender.
         from: NodeId,
+        /// Intended receiver.
         to: NodeId,
+        /// Rendered message payload.
         what: String,
+        /// Why the fabric dropped it.
         reason: DropReason,
     },
     /// A timer fired at a live node.
     TimerFired {
+        /// Virtual firing time.
         at: Time,
+        /// The node whose timer fired.
         node: NodeId,
+        /// The application-chosen timer tag.
         tag: u64,
     },
     /// A node crashed.
     Crashed {
+        /// Virtual crash time.
         at: Time,
+        /// The node that went down.
         node: NodeId,
     },
     /// A node restarted.
     Restarted {
+        /// Virtual restart time.
         at: Time,
+        /// The node that came back.
         node: NodeId,
     },
     /// A block rule (partition) was installed.
     RuleInstalled {
+        /// Virtual install time.
         at: Time,
+        /// Handle of the installed rule.
         rule: BlockRuleId,
+        /// Directed (from, to) pairs the rule blocks.
         pairs: usize,
     },
     /// A block rule was removed (partition healed).
     RuleRemoved {
+        /// Virtual removal time.
         at: Time,
+        /// Handle of the removed rule.
         rule: BlockRuleId,
     },
     /// A free-form annotation emitted by an application via
     /// [`crate::Ctx::note`].
     Note {
+        /// Virtual time of the note.
         at: Time,
+        /// The node that emitted it.
         node: NodeId,
+        /// The annotation text.
         text: String,
     },
 }
@@ -146,19 +178,81 @@ impl std::fmt::Display for TraceEvent {
 /// Aggregate counters, always maintained.
 #[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
 pub struct Counters {
+    /// Messages that entered the fabric.
     pub sent: u64,
+    /// Messages that reached their destination handler.
     pub delivered: u64,
+    /// Messages dropped by an active block rule.
     pub dropped_partition: u64,
+    /// Messages dropped by the flaky-link model.
     pub dropped_flaky: u64,
+    /// Messages dropped because an endpoint was down.
     pub dropped_dead: u64,
+    /// Timers that fired at live nodes.
     pub timers_fired: u64,
+    /// Node crashes.
     pub crashes: u64,
+    /// Node restarts.
     pub restarts: u64,
+}
+
+/// A typed interval derived from the recorded events: the lifetime of a
+/// partition rule or the down-time of a crashed node.
+///
+/// Spans are the bridge between the flat [`TraceEvent`] stream and the
+/// window-based questions forensics asks ("which ops overlapped the
+/// fault?"). `end` is `None` while the interval was still open when the
+/// run finished.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Span {
+    /// A block rule's lifetime, from install to removal.
+    Partition {
+        /// Handle of the rule.
+        rule: BlockRuleId,
+        /// Directed pairs it blocked.
+        pairs: usize,
+        /// Virtual install time.
+        start: Time,
+        /// Virtual removal time (`None` = never healed).
+        end: Option<Time>,
+    },
+    /// A node's down-time, from crash to restart.
+    Down {
+        /// The node that was down.
+        node: NodeId,
+        /// Virtual crash time.
+        start: Time,
+        /// Virtual restart time (`None` = still down at the end).
+        end: Option<Time>,
+    },
+}
+
+impl Span {
+    /// Virtual start of the interval.
+    pub fn start(&self) -> Time {
+        match self {
+            Span::Partition { start, .. } | Span::Down { start, .. } => *start,
+        }
+    }
+
+    /// Virtual end of the interval (`None` = still open).
+    pub fn end(&self) -> Option<Time> {
+        match self {
+            Span::Partition { end, .. } | Span::Down { end, .. } => *end,
+        }
+    }
+
+    /// Whether `[from, to]` overlaps this span (open spans extend to the
+    /// end of the run).
+    pub fn overlaps(&self, from: Time, to: Time) -> bool {
+        from <= self.end().unwrap_or(Time::MAX) && to >= self.start()
+    }
 }
 
 /// The execution trace: counters plus (optionally) the full event list.
 #[derive(Debug, Default)]
 pub struct Trace {
+    /// Aggregate counters, live even when event recording is off.
     pub counters: Counters,
     recording: bool,
     events: Vec<TraceEvent>,
@@ -212,6 +306,44 @@ impl Trace {
             .map(|e| format!("{e}\n"))
             .collect()
     }
+
+    /// Derives typed [`Span`]s from the recorded events, ordered by start
+    /// time (insertion order within a tick). Empty unless recording was
+    /// enabled.
+    pub fn spans(&self) -> Vec<Span> {
+        let mut spans: Vec<Span> = Vec::new();
+        for ev in &self.events {
+            match ev {
+                TraceEvent::RuleInstalled { at, rule, pairs } => spans.push(Span::Partition {
+                    rule: *rule,
+                    pairs: *pairs,
+                    start: *at,
+                    end: None,
+                }),
+                TraceEvent::RuleRemoved { at, rule } => {
+                    if let Some(Span::Partition { end, .. }) = spans.iter_mut().find(|s| {
+                        matches!(s, Span::Partition { rule: r, end: None, .. } if r == rule)
+                    }) {
+                        *end = Some(*at);
+                    }
+                }
+                TraceEvent::Crashed { at, node } => spans.push(Span::Down {
+                    node: *node,
+                    start: *at,
+                    end: None,
+                }),
+                TraceEvent::Restarted { at, node } => {
+                    if let Some(Span::Down { end, .. }) = spans.iter_mut().find(|s| {
+                        matches!(s, Span::Down { node: n, end: None, .. } if n == node)
+                    }) {
+                        *end = Some(*at);
+                    }
+                }
+                _ => {}
+            }
+        }
+        spans
+    }
 }
 
 #[cfg(test)]
@@ -264,6 +396,32 @@ mod tests {
         let s = t.summary();
         assert!(s.contains("elected leader"));
         assert!(!s.contains("send"));
+    }
+
+    #[test]
+    fn spans_pair_installs_with_removals() {
+        let mut t = Trace::new(true);
+        t.push(TraceEvent::RuleInstalled {
+            at: 10,
+            rule: BlockRuleId(0),
+            pairs: 4,
+        });
+        t.push(TraceEvent::Crashed {
+            at: 20,
+            node: NodeId(1),
+        });
+        t.push(TraceEvent::RuleRemoved {
+            at: 50,
+            rule: BlockRuleId(0),
+        });
+        let spans = t.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].start(), 10);
+        assert_eq!(spans[0].end(), Some(50));
+        assert_eq!(spans[1].end(), None, "unrestarted node stays open");
+        assert!(spans[0].overlaps(40, 60));
+        assert!(!spans[0].overlaps(51, 60));
+        assert!(spans[1].overlaps(99, 99), "open span extends to end of run");
     }
 
     #[test]

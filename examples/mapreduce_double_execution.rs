@@ -10,7 +10,7 @@ use neat_repro::sched::{double_execution, MrFlaws};
 
 fn main() {
     println!("Figure 3 — MapReduce double execution under a partial partition\n");
-    let (violations, trace) = double_execution(
+    let (violations, trace, _timeline) = double_execution(
         MrFlaws {
             relaunch_without_checking: true,
         },
@@ -24,7 +24,7 @@ fn main() {
     assert!(violations.iter().any(|v| v.kind == ViolationKind::DoubleExecution));
     assert!(violations.iter().any(|v| v.kind == ViolationKind::DataCorruption));
 
-    let (fixed, _) = double_execution(
+    let (fixed, _, _) = double_execution(
         MrFlaws {
             relaunch_without_checking: false,
         },

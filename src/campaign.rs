@@ -51,18 +51,20 @@ fn kinds(vs: &[Violation]) -> Vec<ViolationKind> {
 pub struct RunArtifacts {
     pub violations: Vec<Violation>,
     pub fingerprint: String,
+    /// Typed observability timeline of the run (empty when not recording).
+    pub timeline: neat::obs::Timeline,
 }
 
 /// Scenario outputs that can feed both the campaign and the auditor.
 trait ScenarioRun: std::fmt::Debug {
-    fn into_violations(self) -> Vec<Violation>;
+    fn into_parts(self) -> (Vec<Violation>, neat::obs::Timeline);
 }
 
 macro_rules! impl_scenario_run {
     ($($t:ty),* $(,)?) => {$(
         impl ScenarioRun for $t {
-            fn into_violations(self) -> Vec<Violation> {
-                self.violations
+            fn into_parts(self) -> (Vec<Violation>, neat::obs::Timeline) {
+                (self.violations, self.timeline)
             }
         }
     )*};
@@ -76,9 +78,9 @@ impl_scenario_run!(
     gridstore::scenarios::GridOutcome,
 );
 
-impl ScenarioRun for (Vec<Violation>, String) {
-    fn into_violations(self) -> Vec<Violation> {
-        self.0
+impl ScenarioRun for (Vec<Violation>, String, neat::obs::Timeline) {
+    fn into_parts(self) -> (Vec<Violation>, neat::obs::Timeline) {
+        (self.0, self.2)
     }
 }
 
@@ -92,9 +94,12 @@ where
 {
     Box::new(move |seed, record| {
         let o = f(seed, record);
+        let fingerprint = format!("{o:#?}");
+        let (violations, timeline) = o.into_parts();
         RunArtifacts {
-            fingerprint: format!("{o:#?}"),
-            violations: o.into_violations(),
+            violations,
+            fingerprint,
+            timeline,
         }
     })
 }
@@ -646,6 +651,66 @@ pub fn run_arm(arm: &ArmId, seed: u64, record: bool) -> RunArtifacts {
     } else {
         (spec.flawed)(seed, record)
     }
+}
+
+/// Runs the *flawed* arm of the scenario at `index` (registry order) with
+/// trace recording on and packages the run as a forensic report: registry
+/// metadata, checker verdicts, and the typed event timeline. This is the
+/// fleet's forensics work item — like [`run_scenario_at`], workers address
+/// scenarios by index because the boxed runners are not `Send`.
+pub fn forensic_at(index: usize, seed: u64) -> neat::obs::ForensicReport {
+    let specs = registry();
+    let s = &specs[index];
+    let run = (s.flawed)(seed, true);
+    neat::obs::ForensicReport {
+        scenario: s.name.to_string(),
+        system: s.system.to_string(),
+        reference: s.reference.to_string(),
+        partition: s.partition.to_string(),
+        seed,
+        violations: run
+            .violations
+            .iter()
+            .map(|v| (v.kind.to_string(), v.details.clone()))
+            .collect(),
+        timeline: run.timeline,
+    }
+}
+
+/// Every scenario's forensic report at `seed`, in registry order — the
+/// serial counterpart of the fleet's sharded forensics sweep.
+pub fn forensic_reports(seed: u64) -> Vec<neat::obs::ForensicReport> {
+    (0..scenario_count()).map(|i| forensic_at(i, seed)).collect()
+}
+
+/// Renders the campaign-wide forensics narrative: a header, one
+/// Listing-1/2-style block per scenario, and the aggregate simulation
+/// counters. Takes pre-computed reports so the serial and fleet-sharded
+/// paths assemble byte-identical output from the same blocks.
+pub fn render_forensics(seed: u64, reports: &[neat::obs::ForensicReport]) -> String {
+    let detected = reports.iter().filter(|r| r.detected()).count();
+    let mut out = format!(
+        "== NEAT failure forensics ==\nseed {seed}: {} scenarios, {detected} with a detected violation\n",
+        reports.len()
+    );
+    let mut total = neat::obs::Counters::default();
+    for r in reports {
+        out.push('\n');
+        out.push_str(&r.render());
+        total.merge(&r.timeline.counters);
+    }
+    out.push_str(&format!("\naggregate counters: {}\n", total.render()));
+    out
+}
+
+/// The machine-readable export of the same reports: one JSONL stream,
+/// each report as a `report` header line followed by its timeline events.
+pub fn forensics_jsonl(reports: &[neat::obs::ForensicReport]) -> String {
+    let mut out = String::new();
+    for r in reports {
+        r.write_jsonl(&mut out);
+    }
+    out
 }
 
 /// Runs every registered scenario arm with trace recording on and returns

@@ -1,0 +1,30 @@
+//! Tier-1 gate: the documented crates must build docs warning-free.
+//!
+//! `crates/obs` is `#![deny(missing_docs)]`, and the public surfaces of
+//! `simnet::trace` and `neat::audit` carry the same module-level deny —
+//! but those attributes only catch *missing* docs. This gate runs
+//! `cargo doc --no-deps` with `RUSTDOCFLAGS="-D warnings"` over the
+//! forensics-layer crates, so broken intra-doc links, bad code fences,
+//! and every other rustdoc lint fail `cargo test` instead of rotting
+//! silently.
+
+use std::path::Path;
+use std::process::Command;
+
+#[test]
+fn forensics_layer_docs_build_without_warnings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let out = Command::new(cargo)
+        .current_dir(root)
+        .args(["doc", "--no-deps", "-q", "-p", "obs", "-p", "simnet", "-p", "neat"])
+        .env("RUSTDOCFLAGS", "-D warnings")
+        .output()
+        .expect("spawn cargo doc");
+    assert!(
+        out.status.success(),
+        "`cargo doc --no-deps` failed under RUSTDOCFLAGS=\"-D warnings\":\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

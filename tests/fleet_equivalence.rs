@@ -51,12 +51,14 @@ fn cli_report_is_jobs_invariant_in_both_modes() {
             seed: 8,
             seeds,
             jobs: 1,
+            trace: false,
         });
         for jobs in [4, 8] {
             let parallel = fleet::cli::report(&fleet::cli::Opts {
                 seed: 8,
                 seeds,
                 jobs,
+                trace: false,
             });
             assert_eq!(parallel, serial, "seeds={seeds:?} jobs={jobs}");
         }
@@ -68,5 +70,41 @@ fn audit_is_jobs_invariant() {
     let serial = fleet::campaign::audit(42, 1);
     for jobs in [4, 8] {
         assert_eq!(fleet::campaign::audit(42, jobs), serial, "jobs={jobs}");
+    }
+}
+
+// --- property: forensics trace bytes are jobs-invariant ------------------
+//
+// The deterministic-sampling version of the fixed-matrix tests above:
+// for random (seed, jobs-pair) samples, the rendered forensics report —
+// the full trace byte stream of every recorded flawed arm — must be
+// identical whichever worker count produced it.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn forensics_trace_bytes_are_jobs_invariant(
+        seed in 0u64..10_000,
+        jobs_a in 1usize..9,
+        jobs_b in 1usize..9,
+    ) {
+        let a = neat_repro::campaign::render_forensics(
+            seed,
+            &fleet::campaign::forensics(seed, jobs_a),
+        );
+        let b = neat_repro::campaign::render_forensics(
+            seed,
+            &fleet::campaign::forensics(seed, jobs_b),
+        );
+        prop_assert_eq!(
+            neat::audit::trace_hash(&a),
+            neat::audit::trace_hash(&b),
+            "forensics diverged between jobs={} and jobs={} at seed {}",
+            jobs_a, jobs_b, seed
+        );
+        prop_assert_eq!(a, b);
     }
 }

@@ -69,6 +69,54 @@ fn figures_output_is_fresh() {
     );
 }
 
+#[test]
+fn forensics_output_is_fresh() {
+    assert_fresh(
+        "forensics_output.txt",
+        &read("forensics_output.txt"),
+        &bench::reports::forensics_report(),
+        "cargo run --release -p bench --bin forensics",
+    );
+}
+
+/// Unlike `BENCH_fleet.json`, the forensics counters carry no wall-clock
+/// numbers — the artifact is a pure function of the seed, so it gets the
+/// full byte-for-byte golden treatment.
+#[test]
+fn forensics_bench_artifact_is_fresh() {
+    assert_fresh(
+        "BENCH_forensics.json",
+        &read("BENCH_forensics.json"),
+        &bench::reports::forensics_machine_json(),
+        "cargo run --release -p bench --bin forensics",
+    );
+}
+
+/// Every violation the campaign detects at seed 8 must be explained by a
+/// forensics timeline: same scenario set, same verdict count.
+#[test]
+fn forensics_explains_every_campaign_violation() {
+    let text = read("forensics_output.txt");
+    for s in neat_repro::campaign::run_all_scenarios(8) {
+        assert!(
+            text.contains(&format!("== {} — {} ({}) ==", s.name, s.system, s.reference)),
+            "no forensics block for scenario {}",
+            s.name
+        );
+        if !s.flawed.is_empty() {
+            let block = text
+                .split("\n== ")
+                .find(|b| b.starts_with(&format!("{} — ", s.name)))
+                .unwrap_or_else(|| panic!("block for {} not found", s.name));
+            assert!(
+                !block.contains("no violation detected"),
+                "campaign detects a violation in {} but forensics reports none",
+                s.name
+            );
+        }
+    }
+}
+
 /// The fleet bench artifact records wall-clock timings, which no test can
 /// pin — but its *shape* must track the registry: scenario/arm counts, the
 /// jobs ladder, and the schema keys the README points at.
@@ -112,7 +160,9 @@ fn all_golden_artifacts_exist() {
         "campaign_output.txt",
         "tables_output.txt",
         "figures_output.txt",
+        "forensics_output.txt",
         "BENCH_fleet.json",
+        "BENCH_forensics.json",
     ] {
         assert!(
             Path::new(&root().join(name)).exists(),

@@ -78,6 +78,43 @@ fn fleet_thread_spawn_sites_are_audited_and_fleet_only() {
     );
 }
 
+/// Library crates must emit through the obs layer or returned strings;
+/// stdout belongs to bin targets. The criterion shim is the one audited
+/// library exception, and its escape hatch must not work from inside a
+/// simulation crate.
+#[test]
+fn println_stays_out_of_library_code() {
+    let src = "fn f() { println!(\"leak\"); }\n";
+    for lib in [
+        "crates/simnet/src/world.rs",
+        "crates/neat/src/engine.rs",
+        "crates/obs/src/recorder.rs",
+        "src/campaign.rs",
+    ] {
+        let findings = scan_source(lib, src);
+        assert!(
+            findings.iter().any(|f| f.rule == Rule::PrintlnInLib),
+            "println in {lib} must fire println-in-lib:\n{findings:#?}"
+        );
+    }
+    // Bin targets own stdout.
+    assert!(scan_source("crates/bench/src/bin/forensics.rs", src).is_empty());
+
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let shim = std::fs::read_to_string(root.join("crates/shims/criterion/src/lib.rs"))
+        .expect("read crates/shims/criterion/src/lib.rs");
+    assert!(
+        shim.contains("lint:allow(println-in-lib)"),
+        "the criterion shim lost its audit annotations"
+    );
+    let smuggled = scan_source("crates/repkv/src/lib.rs", &shim);
+    assert!(
+        smuggled.iter().any(|f| f.rule == Rule::PrintlnInLib),
+        "a simulation crate accepted println-in-lib allows — the escape \
+         hatch must stay outside the simulation crates:\n{smuggled:#?}"
+    );
+}
+
 #[test]
 fn allow_directives_suppress_findings() {
     let src = "\
