@@ -1,0 +1,36 @@
+//! Regenerates `BENCH_gray.json` at the repo root: the campaign's
+//! gray-failure scenarios (degraded, not severed, links) at the
+//! historical seed 8 — both arms' verdicts plus the degradation counters.
+//! Fully deterministic, so the tier-1 golden tests regenerate the
+//! identical bytes in-process.
+//!
+//! ```text
+//! cargo run --release -p bench --bin gray            # writes the artifact
+//! cargo run --release -p bench --bin gray -- --print # JSON to stdout only
+//! ```
+
+use std::io::Write;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let json = bench::reports::gray_machine_json();
+    if std::env::args().skip(1).any(|a| a == "--print") {
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        return match out.write_all(json.as_bytes()).and_then(|()| out.flush()) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("gray: failed to write to stdout: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    // The manifest dir is crates/bench; the artifact lives at the root.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gray.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("gray: cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {path}");
+    ExitCode::SUCCESS
+}

@@ -338,13 +338,16 @@ pub fn forensics_machine_json() -> String {
         let _ = write!(
             out,
             "{{\"events_simulated\":{},\"messages_dropped\":{},\"ops_ordered\":{},\
-             \"partitions_installed\":{},\"heals\":{},\"crashes\":{},\"restarts\":{},\
+             \"partitions_installed\":{},\"heals\":{},\"degrades_installed\":{},\
+             \"degrade_heals\":{},\"crashes\":{},\"restarts\":{},\
              \"verdicts\":{}}}",
             c.events_simulated,
             c.messages_dropped,
             c.ops_ordered,
             c.partitions_installed,
             c.heals,
+            c.degrades_installed,
+            c.degrade_heals,
             c.crashes,
             c.restarts,
             c.verdicts,
@@ -371,6 +374,80 @@ pub fn forensics_machine_json() -> String {
         );
         counters(&mut out, &r.timeline.counters);
         out.push('}');
+    }
+    out.push_str("]}");
+    format!("{}\n", study::json::pretty(&out))
+}
+
+// --- gray failures -------------------------------------------------------
+
+/// The registry's gray-failure scenarios: degraded, not severed, links
+/// (`gray-partial`, `gray-simplex`, and `flapping` partition labels).
+fn gray_partition(partition: &str) -> bool {
+    matches!(partition, "gray-partial" | "gray-simplex" | "flapping")
+}
+
+/// Exact content of `BENCH_gray.json`: every gray-failure scenario of the
+/// campaign at the historical seed 8 — both arms' checker verdicts side
+/// by side (the no-retry vs retry-with-backoff contrast) plus the
+/// degradation counters of the flawed run. Like `BENCH_forensics.json`
+/// this records no wall-clock numbers, so it is fully deterministic and
+/// golden-tested byte-for-byte.
+pub fn gray_machine_json() -> String {
+    let specs = neat_repro::campaign::registry();
+    let gray: Vec<&neat_repro::campaign::ScenarioSpec> = specs
+        .iter()
+        .filter(|s| gray_partition(s.partition))
+        .collect();
+    let arms: usize = gray
+        .iter()
+        .map(|s| 1 + usize::from(s.fixed.is_some()))
+        .sum();
+    let kinds = |vs: &[neat::Violation]| {
+        let mut ks: Vec<String> = vs.iter().map(|v| v.kind.to_string()).collect();
+        ks.sort();
+        ks.dedup();
+        ks
+    };
+    let push_kinds = |out: &mut String, ks: &[String]| {
+        out.push('[');
+        for (i, k) in ks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            study::json::push_json_str(out, k);
+        }
+        out.push(']');
+    };
+    let mut out = format!(
+        "{{\"bench\":\"gray\",\"seed\":8,\"scenarios\":{},\"arms\":{arms},\
+         \"per_scenario\":[",
+        gray.len()
+    );
+    for (i, s) in gray.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let flawed = (s.flawed)(8, true);
+        let fixed = s.fixed.as_ref().map(|f| f(8, true));
+        out.push_str("{\"scenario\":");
+        study::json::push_json_str(&mut out, s.name);
+        out.push_str(",\"partition\":");
+        study::json::push_json_str(&mut out, s.partition);
+        out.push_str(",\"flawed\":");
+        push_kinds(&mut out, &kinds(&flawed.violations));
+        out.push_str(",\"fixed\":");
+        push_kinds(
+            &mut out,
+            &fixed.map(|f| kinds(&f.violations)).unwrap_or_default(),
+        );
+        let c = &flawed.timeline.counters;
+        let _ = write!(
+            out,
+            ",\"degrades_installed\":{},\"degrade_heals\":{},\
+             \"messages_dropped\":{},\"verdicts\":{}}}",
+            c.degrades_installed, c.degrade_heals, c.messages_dropped, c.verdicts,
+        );
     }
     out.push_str("]}");
     format!("{}\n", study::json::pretty(&out))
@@ -424,6 +501,28 @@ mod tests {
             .count();
         assert_eq!(headers, neat_repro::campaign::scenario_count());
         assert!(stream.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn gray_machine_json_covers_every_gray_scenario() {
+        let json = gray_machine_json();
+        assert!(json.contains("\"bench\": \"gray\""), "{json}");
+        let gray: Vec<_> = neat_repro::campaign::registry()
+            .into_iter()
+            .filter(|s| gray_partition(s.partition))
+            .collect();
+        assert!(gray.len() >= 6, "only {} gray scenarios", gray.len());
+        for s in &gray {
+            assert!(json.contains(&format!("\"{}\"", s.name)), "missing {}", s.name);
+        }
+        // Every gray scenario installs at least one degradation, detects a
+        // violation when flawed, and is clean when repaired. (The pretty
+        // printer spreads arrays over lines, so compare whitespace-free.)
+        let compact: String = json.chars().filter(|c| !c.is_whitespace()).collect();
+        assert!(!compact.contains("\"degrades_installed\":0"), "{json}");
+        assert!(!compact.contains("\"flawed\":[]"), "{json}");
+        assert!(compact.contains("\"fixed\":[]"), "{json}");
+        assert!(json.ends_with('\n'));
     }
 
     #[test]

@@ -114,9 +114,119 @@ pub fn rethinkdb_reconfig_split_brain(
     }
 }
 
+/// Result of the lossy-leader-link scenario.
+#[derive(Debug)]
+pub struct LossyLinkOutcome {
+    /// Checker violations plus the manufactured churn verdict.
+    pub violations: Vec<Violation>,
+    /// How many terms leadership advanced while the link was degraded.
+    pub term_churn: u64,
+    /// Final per-key state from the surviving leader.
+    pub final_state: BTreeMap<String, Option<u64>>,
+    /// Manifestation trace (when recorded).
+    pub trace: String,
+    /// Typed observability timeline (faults, ops, verdicts; see `obs`).
+    pub timeline: neat::obs::Timeline,
+}
+
+impl LossyLinkOutcome {
+    /// `true` when a violation of `kind` was found.
+    pub fn has(&self, kind: ViolationKind) -> bool {
+        self.violations.iter().any(|v| v.kind == kind)
+    }
+}
+
+/// Gray failure §2.1 against proven Raft: the leader's links to both
+/// followers lose most of their messages — degraded, never severed. Lost
+/// heartbeats fire election timers, lost votes stall the elections they
+/// start, and leadership churns term after term; a committed write
+/// survives (Raft stays *safe*) but availability collapses. With
+/// `lossy = false` the identical sequence runs over clean links and terms
+/// stay put.
+pub fn lossy_leader_link(lossy: bool, seed: u64, record: bool) -> LossyLinkOutcome {
+    let mut cluster = RaftCluster::build(RaftClusterSpec {
+        servers: 3,
+        clients: 1,
+        tweaks: RaftTweaks::default(),
+        seed,
+        record_trace: record,
+    });
+    let leader = cluster.wait_for_leader(3000).expect("initial leader"); // lint:allow(unwrap-expect)
+    let followers = rest_of(&cluster.servers, &[leader]);
+
+    let c = cluster.client(0).via(leader);
+    c.put(&mut cluster.neat, "stable", 1);
+
+    let term_before = cluster.neat.world.app(leader).server().term();
+    let d = lossy.then(|| {
+        cluster.neat.degrade(neat::DegradeSpec::Partial {
+            a: vec![leader],
+            b: followers,
+            rule: simnet::DegradeRule::lossy(0.8),
+        })
+    });
+
+    cluster.settle(4000);
+    let term_churn = cluster
+        .servers
+        .iter()
+        .map(|&s| cluster.neat.world.app(s).server().term())
+        .max()
+        .unwrap_or(term_before)
+        .saturating_sub(term_before);
+
+    if let Some(d) = d {
+        cluster.neat.heal_degrade(&d);
+    }
+    cluster.settle(2000);
+    let after = cluster.leader().unwrap_or(leader);
+    cluster.client(0).via(after).put(&mut cluster.neat, "after", 2);
+
+    let final_state = cluster.final_state(&["stable", "after"]);
+    let mut violations = check_register(
+        cluster.neat.history(),
+        RegisterSemantics::Strong,
+        &final_state,
+    );
+    if term_churn >= 3 {
+        violations.push(Violation::new(
+            ViolationKind::Other,
+            format!(
+                "leadership churned {term_churn} terms under the lossy leader link \
+                 (availability degradation, §2.1 flaky link)"
+            ),
+        ));
+    }
+    let timeline = cluster.neat.observe(&violations);
+    LossyLinkOutcome {
+        violations,
+        term_churn,
+        final_state,
+        trace: cluster.neat.world.trace().summary(),
+        timeline,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn lossy_leader_link_churns_leadership_but_keeps_data() {
+        let out = lossy_leader_link(true, 8, false);
+        assert!(out.term_churn >= 3, "only {} terms of churn", out.term_churn);
+        assert!(out.has(ViolationKind::Other), "{:?}", out.violations);
+        // Raft safety holds: the committed write survives the churn.
+        assert_eq!(out.final_state.get("stable"), Some(&Some(1)));
+        assert!(!out.has(ViolationKind::DataLoss), "{:?}", out.violations);
+    }
+
+    #[test]
+    fn clean_links_keep_leadership_stable() {
+        let out = lossy_leader_link(false, 8, false);
+        assert!(out.term_churn <= 1, "unexpected churn: {}", out.term_churn);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+    }
 
     #[test]
     fn tweaked_raft_forms_two_majorities_and_loses_data() {

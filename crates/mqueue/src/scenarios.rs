@@ -3,8 +3,9 @@
 use coord::CoordFlaws;
 use neat::{
     checkers::{check_queue, QueueExpectation},
-    rest_of, Violation, ViolationKind,
+    rest_of, DegradeSpec, Violation, ViolationKind,
 };
+use simnet::DegradeRule;
 
 use crate::{
     autocluster::AcFlaws,
@@ -66,6 +67,95 @@ pub fn fig6_hang(flaws: BrokerFlaws, seed: u64, record: bool) -> MqOutcome {
             ViolationKind::SystemHang,
             "master blocked on replication and no replica took over: every \
              operation timed out although a majority of brokers was healthy",
+        ));
+    }
+    let timeline = cluster.neat.observe(&violations);
+    MqOutcome {
+        violations,
+        trace: cluster.neat.world.trace().summary(),
+        timeline,
+    }
+}
+
+/// Sleeps until the next flap window of the wanted phase begins, plus a
+/// small margin so in-flight deliveries do not straddle the boundary.
+/// `lossy = true` targets a degraded window, `false` a quiet one.
+fn align_to_flap(cluster: &mut MqCluster, period: u64, lossy: bool) {
+    let now = cluster.neat.now();
+    let want = if lossy { 0 } else { 1 };
+    let mut next = now / period + 1;
+    if next % 2 != want {
+        next += 1;
+    }
+    cluster.settle(next * period - now + 5);
+}
+
+/// Gray-failure variant of Figure 6: the links between the master and its
+/// replicas *flap* — alternating windows of total loss and perfect health
+/// (§2.1 flaky links) — instead of being cut outright. Traffic sent in a
+/// quiet window still goes through (no partition detector would fire), but
+/// a replication started in a lossy window stalls; with the AMQ-7064 flaw
+/// the master blocks forever and the whole system hangs.
+pub fn flapping_link_hang(flaws: BrokerFlaws, seed: u64, record: bool) -> MqOutcome {
+    let mut cluster = MqCluster::build(3, flaws, CoordFlaws::default(), seed, record);
+    cluster.neat.op_timeout = 500;
+    let master = cluster.wait_for_master(3000, None).expect("master"); // lint:allow(unwrap-expect)
+    let c1 = cluster.client(0);
+
+    // Pre-fault traffic works.
+    c1.send(&mut cluster.neat, master, "q", 1);
+
+    // Flapping degradation: master <-> replicas, total loss during the
+    // degraded half-periods, untouched in between. Coordinator and
+    // clients are never degraded.
+    const FLAP: u64 = 600;
+    let replicas = rest_of(&cluster.brokers, &[master]);
+    let d = cluster.neat.degrade(DegradeSpec::flapping(
+        vec![master],
+        replicas,
+        DegradeRule::lossy(1.0),
+        FLAP,
+    ));
+
+    // A quiet window: the degraded link still carries replication, so the
+    // fault is invisible to this operation — the gray half of the failure.
+    align_to_flap(&mut cluster, FLAP, false);
+    let quiet = c1.send(&mut cluster.neat, master, "q", 2);
+
+    // A lossy window: replication stalls. The fixed master times out,
+    // steps down, and lets a healthy replica take over; the flawed one
+    // blocks forever.
+    align_to_flap(&mut cluster, FLAP, true);
+    let stalled = c1.send(&mut cluster.neat, master, "q", 3);
+
+    // Give a fixed deployment time to fail over, then retry in a lossy
+    // window at whoever is master now: a new master still replicates
+    // through its clean link to the third broker.
+    cluster.settle(1500);
+    align_to_flap(&mut cluster, FLAP, true);
+    let master_now = cluster.master();
+    let retried = match master_now {
+        Some(m) => c1.send(&mut cluster.neat, m, "q", 4),
+        None => neat::Outcome::Timeout,
+    };
+
+    cluster.neat.heal_degrade(&d);
+    cluster.settle(800);
+
+    let mut violations = Vec::new();
+    if !quiet.is_ok() {
+        violations.push(Violation::new(
+            ViolationKind::Other,
+            "quiet-window send failed although the flapping link was healthy",
+        ));
+    }
+    let hang = !stalled.is_ok() && !retried.is_ok();
+    if hang {
+        violations.push(Violation::new(
+            ViolationKind::SystemHang,
+            "master blocked on replication over a flapping link and no \
+             replica took over: operations time out although every link is \
+             healthy half the time",
         ));
     }
     let timeline = cluster.neat.observe(&violations);
@@ -273,6 +363,21 @@ mod tests {
     #[test]
     fn fig6_fails_over_when_fixed() {
         let out = fig6_hang(BrokerFlaws::fixed(), 41, false);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+    }
+
+    #[test]
+    fn flapping_link_hangs_with_the_flaw() {
+        let out = flapping_link_hang(BrokerFlaws::flawed(), 8, false);
+        assert!(out.has(ViolationKind::SystemHang), "{:?}", out.violations);
+        // The quiet-window send went through: the link was only degraded,
+        // never severed.
+        assert!(!out.has(ViolationKind::Other), "{:?}", out.violations);
+    }
+
+    #[test]
+    fn flapping_link_fails_over_when_fixed() {
+        let out = flapping_link_hang(BrokerFlaws::fixed(), 8, false);
         assert!(out.violations.is_empty(), "{:?}", out.violations);
     }
 

@@ -6,6 +6,7 @@ use simnet::{Application, NodeId, SimError, Time, World};
 use crate::{
     checkers::Violation,
     fault::{Partition, PartitionSpec},
+    gray::{Degrade, DegradeKind, DegradeSpec},
     history::{History, OpRecord},
 };
 
@@ -27,6 +28,7 @@ pub struct Neat<A: Application> {
     pub world: World<A>,
     history: History,
     active: Vec<Partition>,
+    degraded: Vec<Degrade>,
     obs: obs::Recorder,
     /// Timeout applied by [`Neat::run_op`], in virtual milliseconds.
     pub op_timeout: Time,
@@ -44,6 +46,7 @@ impl<A: Application> Neat<A> {
             world,
             history: History::new(),
             active: Vec::new(),
+            degraded: Vec::new(),
             obs,
             op_timeout: 1000,
         }
@@ -136,6 +139,59 @@ impl<A: Application> Neat<A> {
     /// Partitions currently installed.
     pub fn active_partitions(&self) -> &[Partition] {
         &self.active
+    }
+
+    /// Installs a gray failure described by `spec` and returns a handle
+    /// for healing it. The sibling of [`Neat::partition`] for degraded —
+    /// rather than severed — links.
+    pub fn degrade(&mut self, spec: DegradeSpec) -> Degrade {
+        let (class, a, b) = match &spec {
+            DegradeSpec::Partial { a, b, .. } => {
+                let class = if spec.kind() == DegradeKind::Flapping {
+                    obs::DegradeClass::Flapping
+                } else {
+                    obs::DegradeClass::GrayPartial
+                };
+                (class, a.clone(), b.clone())
+            }
+            DegradeSpec::Simplex { src, dst, .. } => {
+                let class = if spec.kind() == DegradeKind::Flapping {
+                    obs::DegradeClass::Flapping
+                } else {
+                    obs::DegradeClass::GraySimplex
+                };
+                (class, src.clone(), dst.clone())
+            }
+        };
+        let pairs = spec.pairs().len();
+        let rule = self.world.degrade_pairs(spec.pairs(), spec.rule());
+        self.obs
+            .degrade_installed(self.world.now(), rule.0, class, a, b, pairs);
+        let d = Degrade { rule, spec };
+        self.degraded.push(d.clone());
+        d
+    }
+
+    /// Heals one gray failure. Healing twice is a no-op.
+    pub fn heal_degrade(&mut self, d: &Degrade) {
+        if self.degraded.iter().any(|q| q.rule == d.rule) {
+            self.obs.degrade_healed(self.world.now(), d.rule.0);
+        }
+        self.world.undegrade(d.rule);
+        self.degraded.retain(|q| q.rule != d.rule);
+    }
+
+    /// Heals every gray failure installed through this engine.
+    pub fn heal_all_degrades(&mut self) {
+        for d in std::mem::take(&mut self.degraded) {
+            self.obs.degrade_healed(self.world.now(), d.rule.0);
+            self.world.undegrade(d.rule);
+        }
+    }
+
+    /// Gray failures currently installed.
+    pub fn active_degrades(&self) -> &[Degrade] {
+        &self.degraded
     }
 
     /// Crashes every node in `nodes`. Nodes already down are skipped.
@@ -305,6 +361,59 @@ mod tests {
         neat.heal_all();
         assert!(neat.active_partitions().is_empty());
         assert_eq!(neat.world.net().rule_count(), 0);
+    }
+
+    #[test]
+    fn degrade_install_and_heal_roundtrip() {
+        use crate::gray::DegradeSpec;
+        use simnet::DegradeRule;
+        let mut neat = engine(2);
+        let d = neat.degrade(DegradeSpec::Partial {
+            a: vec![NodeId(0)],
+            b: vec![NodeId(1)],
+            rule: DegradeRule::lossy(1.0),
+        });
+        assert_eq!(neat.active_degrades().len(), 1);
+        assert!(neat.world.net().is_degraded(NodeId(0), NodeId(1)));
+        // Total loss behaves like a partition for this round trip.
+        neat.op_timeout = 50;
+        let got = neat.run_op(
+            |w| w.call(NodeId(0), |_, ctx| ctx.send(NodeId(1), 8)),
+            |w| w.app(NodeId(0)).acked,
+        );
+        assert_eq!(got, None);
+        neat.heal_degrade(&d);
+        neat.heal_degrade(&d); // second heal: no extra event
+        assert!(neat.active_degrades().is_empty());
+        let got = neat.run_op(
+            |w| w.call(NodeId(0), |_, ctx| ctx.send(NodeId(1), 8)),
+            |w| w.app(NodeId(0)).acked,
+        );
+        assert_eq!(got, Some(9));
+        let t = neat.observe(&[]);
+        assert_eq!(t.counters.degrades_installed, 1);
+        assert_eq!(t.counters.degrade_heals, 1);
+    }
+
+    #[test]
+    fn heal_all_degrades_clears_every_rule() {
+        use crate::gray::DegradeSpec;
+        use simnet::DegradeRule;
+        let mut neat = engine(3);
+        neat.degrade(DegradeSpec::Partial {
+            a: vec![NodeId(0)],
+            b: vec![NodeId(1)],
+            rule: DegradeRule::lossy(0.5),
+        });
+        neat.degrade(DegradeSpec::Simplex {
+            src: vec![NodeId(1)],
+            dst: vec![NodeId(2)],
+            rule: DegradeRule::duplicating(1.0),
+        });
+        assert_eq!(neat.world.net().degrade_count(), 2);
+        neat.heal_all_degrades();
+        assert!(neat.active_degrades().is_empty());
+        assert_eq!(neat.world.net().degrade_count(), 0);
     }
 
     #[test]

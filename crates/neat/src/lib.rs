@@ -14,6 +14,13 @@
 //! - [`fault`] — the *network partitioner*: [`fault::PartitionSpec`] expresses
 //!   complete, partial, and simplex partitions; the engine installs and heals
 //!   them.
+//! - [`gray`] — the *gray-failure injector*: [`gray::DegradeSpec`] expresses
+//!   degraded (lossy, slow, duplicating, flapping) links — the §2.1 flaky-link
+//!   causes behind most partial partitions — installed and healed through the
+//!   same engine.
+//! - [`retry`] — [`retry::RetryPolicy`], bounded exponential backoff in
+//!   virtual time, so scenarios can contrast no-retry against
+//!   retry-with-backoff clients (client-side handling decides impact).
 //! - [`history`] — records every client operation (invocation, completion,
 //!   outcome) exactly as the paper's verification steps observe them.
 //! - [`checkers`] — the *verification code*: turns a history plus the final
@@ -62,11 +69,15 @@ pub mod checkers;
 pub mod engine;
 pub mod explore;
 pub mod fault;
+pub mod gray;
 pub mod history;
 pub mod nemesis;
+pub mod retry;
 
 pub use checkers::{Violation, ViolationKind};
 pub use engine::Neat;
 pub use fault::{rest_of, Partition, PartitionKind, PartitionSpec};
+pub use gray::{Degrade, DegradeKind, DegradeSpec};
 pub use history::{History, Op, OpRecord, Outcome};
 pub use nemesis::{Nemesis, NemesisAction, Schedule};
+pub use retry::RetryPolicy;

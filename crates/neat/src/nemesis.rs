@@ -9,11 +9,12 @@
 //! dozens of partition/heal cycles deterministically.
 
 use rand::{rngs::StdRng, seq::SliceRandom, Rng, SeedableRng};
-use simnet::{Application, NodeId, Time};
+use simnet::{Application, DegradeRule, NodeId, Time};
 
 use crate::{
     engine::Neat,
     fault::{rest_of, PartitionKind, PartitionSpec},
+    gray::DegradeSpec,
 };
 
 /// One timed fault action.
@@ -21,7 +22,9 @@ use crate::{
 pub enum NemesisAction {
     /// Install this partition.
     Partition(PartitionSpec),
-    /// Heal everything currently installed.
+    /// Install this gray failure (degraded, not severed, links).
+    Degrade(DegradeSpec),
+    /// Heal everything currently installed (partitions and degradations).
     HealAll,
     /// Crash these nodes.
     Crash(Vec<NodeId>),
@@ -45,7 +48,22 @@ impl Schedule {
     pub fn fault_count(&self) -> usize {
         self.steps
             .iter()
-            .filter(|(_, a)| matches!(a, NemesisAction::Partition(_) | NemesisAction::Crash(_)))
+            .filter(|(_, a)| {
+                matches!(
+                    a,
+                    NemesisAction::Partition(_)
+                        | NemesisAction::Degrade(_)
+                        | NemesisAction::Crash(_)
+                )
+            })
+            .count()
+    }
+
+    /// Number of gray-failure injections among the faults.
+    pub fn gray_count(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|(_, a)| matches!(a, NemesisAction::Degrade(_)))
             .count()
     }
 }
@@ -63,6 +81,12 @@ pub struct Nemesis {
     pub kinds: Vec<PartitionKind>,
     /// Probability that a cycle crashes a node instead of partitioning.
     pub crash_probability: f64,
+    /// Probability that a cycle degrades a link (gray failure) instead of
+    /// cutting it cleanly. Zero keeps schedules byte-identical to
+    /// pre-gray nemeses: no extra RNG draws are made.
+    pub gray_probability: f64,
+    /// The degradation applied during gray cycles.
+    pub gray_rule: DegradeRule,
 }
 
 impl Nemesis {
@@ -75,6 +99,20 @@ impl Nemesis {
             gap: 1200,
             kinds: vec![PartitionKind::Complete, PartitionKind::Partial],
             crash_probability: 0.0,
+            gray_probability: 0.0,
+            gray_rule: DegradeRule::default(),
+        }
+    }
+
+    /// A nemesis that alternates clean cuts with gray periods: half the
+    /// cycles install a lossy-link degradation instead of a partition —
+    /// the paper's observation that real outages mix severed and merely
+    /// flaky links (§2.1).
+    pub fn gray_flicker(servers: Vec<NodeId>) -> Self {
+        Self {
+            gray_probability: 0.5,
+            gray_rule: DegradeRule::lossy(0.4),
+            ..Self::flicker(servers)
         }
     }
 
@@ -92,6 +130,14 @@ impl Nemesis {
             let action = if self.crash_probability > 0.0 && rng.gen_bool(self.crash_probability) {
                 let victim = *self.servers.choose(&mut rng).expect("non-empty"); // lint:allow(unwrap-expect)
                 NemesisAction::Crash(vec![victim])
+            } else if self.gray_probability > 0.0 && rng.gen_bool(self.gray_probability) {
+                let victim = *self.servers.choose(&mut rng).expect("non-empty"); // lint:allow(unwrap-expect)
+                let others = rest_of(&self.servers, &[victim]);
+                NemesisAction::Degrade(DegradeSpec::Partial {
+                    a: vec![victim],
+                    b: others,
+                    rule: self.gray_rule,
+                })
             } else {
                 let kind = if self.kinds.is_empty() {
                     PartitionKind::Complete
@@ -150,7 +196,13 @@ pub fn replay<A: Application>(
             NemesisAction::Partition(spec) => {
                 neat.partition(spec.clone());
             }
-            NemesisAction::HealAll => neat.heal_all(),
+            NemesisAction::Degrade(spec) => {
+                neat.degrade(spec.clone());
+            }
+            NemesisAction::HealAll => {
+                neat.heal_all();
+                neat.heal_all_degrades();
+            }
             NemesisAction::Crash(nodes) => neat.crash(nodes),
             NemesisAction::RestartAll => {
                 let all = neat.world.node_ids();
@@ -219,6 +271,36 @@ mod tests {
         assert!(seen_active >= 3, "partitions were active between steps");
         assert!(engine.active_partitions().is_empty(), "all healed at the end");
         assert_eq!(engine.now(), s.horizon());
+    }
+
+    #[test]
+    fn gray_flicker_mixes_cuts_and_degradations() {
+        let n = Nemesis::gray_flicker(servers(3));
+        let s = n.schedule(20, 4);
+        assert_eq!(s.fault_count(), 20);
+        let gray = s.gray_count();
+        assert!(gray > 0 && gray < 20, "both fault classes appear: {gray}/20");
+        let mut engine = Neat::new(WorldBuilder::new(1).build(3, |_| Idle));
+        let mut saw_degrade = false;
+        replay(&mut engine, &s, |e| {
+            saw_degrade |= !e.active_degrades().is_empty();
+        });
+        assert!(saw_degrade, "degradations were active between steps");
+        assert!(engine.active_partitions().is_empty(), "all healed at the end");
+        assert!(engine.active_degrades().is_empty(), "all restored at the end");
+        assert_eq!(engine.world.net().degrade_count(), 0);
+    }
+
+    #[test]
+    fn zero_gray_probability_preserves_legacy_schedules() {
+        // The gray knobs must not perturb the RNG draw order when off.
+        let legacy = Nemesis::flicker(servers(3));
+        let mut gray_off = Nemesis::gray_flicker(servers(3));
+        gray_off.gray_probability = 0.0;
+        assert_eq!(
+            format!("{:?}", legacy.schedule(8, 9)),
+            format!("{:?}", gray_off.schedule(8, 9)),
+        );
     }
 
     #[test]

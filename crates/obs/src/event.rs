@@ -28,6 +28,30 @@ impl std::fmt::Display for PartitionClass {
     }
 }
 
+/// Gray-failure taxonomy bucket (the paper's §2.1 flaky-link causes).
+///
+/// Mirrors `neat::DegradeKind` without depending on `neat`, exactly as
+/// [`PartitionClass`] mirrors `neat::PartitionKind`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DegradeClass {
+    /// Both directions of the named links are degraded.
+    GrayPartial,
+    /// Only one direction of the named links is degraded.
+    GraySimplex,
+    /// The degradation alternates between active and healthy windows.
+    Flapping,
+}
+
+impl std::fmt::Display for DegradeClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DegradeClass::GrayPartial => "gray-partial",
+            DegradeClass::GraySimplex => "gray-simplex",
+            DegradeClass::Flapping => "flapping",
+        })
+    }
+}
+
 /// One observability event, stamped with virtual time.
 ///
 /// Everything a forensic timeline needs to explain a violation: the faults
@@ -56,6 +80,29 @@ pub enum Event {
         /// Virtual time of the heal.
         at: Time,
         /// Block-rule id of the partition that was removed.
+        rule: u64,
+    },
+    /// A gray-failure (link degradation) fault was installed.
+    DegradeInstalled {
+        /// Virtual time of installation.
+        at: Time,
+        /// Degrade-rule id, matching [`Event::DegradeHealed::rule`].
+        /// A separate id namespace from partition block rules.
+        rule: u64,
+        /// Taxonomy bucket of the gray failure.
+        kind: DegradeClass,
+        /// First group (the `src` group for simplex degradations).
+        a: Vec<NodeId>,
+        /// Second group (the `dst` group for simplex degradations).
+        b: Vec<NodeId>,
+        /// Directed (from, to) pairs the rule degrades.
+        pairs: usize,
+    },
+    /// A gray-failure fault was healed.
+    DegradeHealed {
+        /// Virtual time of the heal.
+        at: Time,
+        /// Degrade-rule id of the rule that was removed.
         rule: u64,
     },
     /// A node was crashed by the test.
@@ -113,6 +160,8 @@ impl Event {
         match self {
             Event::PartitionInstalled { at, .. }
             | Event::PartitionHealed { at, .. }
+            | Event::DegradeInstalled { at, .. }
+            | Event::DegradeHealed { at, .. }
             | Event::Crashed { at, .. }
             | Event::Restarted { at, .. }
             | Event::Verdict { at, .. }
@@ -126,6 +175,8 @@ impl Event {
         match self {
             Event::PartitionInstalled { .. } => "partition",
             Event::PartitionHealed { .. } => "heal",
+            Event::DegradeInstalled { .. } => "degrade",
+            Event::DegradeHealed { .. } => "degrade-heal",
             Event::Crashed { .. } => "crash",
             Event::Restarted { .. } => "restart",
             Event::Op { .. } => "op",
@@ -149,6 +200,18 @@ impl std::fmt::Display for Event {
             }
             Event::PartitionHealed { at, rule } => {
                 write!(f, "[{at:>6}] fault  heal rule {rule}")
+            }
+            Event::DegradeInstalled { at, rule, kind, a, b, pairs } => {
+                let sep = if *kind == DegradeClass::GraySimplex { "~>" } else { "~" };
+                write!(
+                    f,
+                    "[{at:>6}] fault  degrade {kind} {} {sep} {} (rule {rule}, {pairs} pairs)",
+                    group(a),
+                    group(b),
+                )
+            }
+            Event::DegradeHealed { at, rule } => {
+                write!(f, "[{at:>6}] fault  restore degrade rule {rule}")
             }
             Event::Crashed { at, node } => write!(f, "[{at:>6}] fault  crash {node}"),
             Event::Restarted { at, node } => write!(f, "[{at:>6}] fault  restart {node}"),
@@ -181,6 +244,10 @@ pub struct Counters {
     pub partitions_installed: u64,
     /// Partition faults healed.
     pub heals: u64,
+    /// Gray-failure (degrade) faults installed.
+    pub degrades_installed: u64,
+    /// Gray-failure faults healed.
+    pub degrade_heals: u64,
     /// Node crashes injected.
     pub crashes: u64,
     /// Node restarts injected.
@@ -191,15 +258,17 @@ pub struct Counters {
 
 impl Counters {
     /// One-line rendering for reports:
-    /// `events=N dropped=N ops=N partitions=N heals=N crashes=N restarts=N verdicts=N`.
+    /// `events=N dropped=N ops=N partitions=N heals=N degrades=N degrade-heals=N crashes=N restarts=N verdicts=N`.
     pub fn render(&self) -> String {
         format!(
-            "events={} dropped={} ops={} partitions={} heals={} crashes={} restarts={} verdicts={}",
+            "events={} dropped={} ops={} partitions={} heals={} degrades={} degrade-heals={} crashes={} restarts={} verdicts={}",
             self.events_simulated,
             self.messages_dropped,
             self.ops_ordered,
             self.partitions_installed,
             self.heals,
+            self.degrades_installed,
+            self.degrade_heals,
             self.crashes,
             self.restarts,
             self.verdicts,
@@ -213,6 +282,8 @@ impl Counters {
         self.ops_ordered += other.ops_ordered;
         self.partitions_installed += other.partitions_installed;
         self.heals += other.heals;
+        self.degrades_installed += other.degrades_installed;
+        self.degrade_heals += other.degrade_heals;
         self.crashes += other.crashes;
         self.restarts += other.restarts;
         self.verdicts += other.verdicts;
@@ -246,6 +317,36 @@ mod tests {
             outcome: "Ok(None)".into(),
         };
         assert_eq!(op.to_string(), "[   700..   705] n1 Read { key: \"k\" } -> Ok(None)");
+    }
+
+    #[test]
+    fn degrade_events_display_and_label() {
+        let ev = Event::DegradeInstalled {
+            at: 400,
+            rule: 1,
+            kind: DegradeClass::GrayPartial,
+            a: vec![NodeId(0)],
+            b: vec![NodeId(2)],
+            pairs: 2,
+        };
+        assert_eq!(
+            ev.to_string(),
+            "[   400] fault  degrade gray-partial n0 ~ n2 (rule 1, 2 pairs)"
+        );
+        assert_eq!(ev.label(), "degrade");
+        let simplex = Event::DegradeInstalled {
+            at: 1,
+            rule: 0,
+            kind: DegradeClass::GraySimplex,
+            a: vec![NodeId(1)],
+            b: vec![NodeId(0)],
+            pairs: 1,
+        };
+        assert!(simplex.to_string().contains("n1 ~> n0"));
+        let heal = Event::DegradeHealed { at: 900, rule: 1 };
+        assert_eq!(heal.to_string(), "[   900] fault  restore degrade rule 1");
+        assert_eq!(heal.label(), "degrade-heal");
+        assert_eq!(heal.at(), 900);
     }
 
     #[test]

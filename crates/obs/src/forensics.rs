@@ -61,6 +61,17 @@ impl ForensicReport {
                 w(&mut out, format!("     [{from:>6}..{until}] rule {rule}"));
             }
         }
+        let degrades = self.timeline.degrade_windows();
+        if !degrades.is_empty() {
+            w(&mut out, "   degrade windows:".to_string());
+            for (rule, from, to) in &degrades {
+                let until = match to {
+                    Some(t) => format!("{t:>6}"),
+                    None => "  open".to_string(),
+                };
+                w(&mut out, format!("     [{from:>6}..{until}] degrade rule {rule}"));
+            }
+        }
         let inflight = self.timeline.ops_in_flight();
         if !inflight.is_empty() {
             w(&mut out, "   ops in flight during a fault:".to_string());

@@ -48,7 +48,7 @@ pub mod forensics;
 pub mod recorder;
 pub mod timeline;
 
-pub use event::{Counters, Event, PartitionClass};
+pub use event::{Counters, DegradeClass, Event, PartitionClass};
 pub use forensics::ForensicReport;
 pub use recorder::Recorder;
 pub use timeline::Timeline;

@@ -2,7 +2,7 @@
 
 use simnet::{trace::Trace, NodeId, Time};
 
-use crate::{Counters, Event, PartitionClass, Timeline};
+use crate::{Counters, DegradeClass, Event, PartitionClass, Timeline};
 
 /// Collects [`Event`]s and maintains [`Counters`] during a run.
 ///
@@ -67,6 +67,26 @@ impl Recorder {
     pub fn partition_healed(&mut self, at: Time, rule: u64) {
         self.counters.heals += 1;
         self.push(Event::PartitionHealed { at, rule });
+    }
+
+    /// Records a gray-failure (degrade) install.
+    pub fn degrade_installed(
+        &mut self,
+        at: Time,
+        rule: u64,
+        kind: DegradeClass,
+        a: Vec<NodeId>,
+        b: Vec<NodeId>,
+        pairs: usize,
+    ) {
+        self.counters.degrades_installed += 1;
+        self.push(Event::DegradeInstalled { at, rule, kind, a, b, pairs });
+    }
+
+    /// Records a gray-failure heal.
+    pub fn degrade_healed(&mut self, at: Time, rule: u64) {
+        self.counters.degrade_heals += 1;
+        self.push(Event::DegradeHealed { at, rule });
     }
 
     /// Records an injected node crash.
@@ -136,7 +156,8 @@ impl Recorder {
         }
         let c = &trace.counters;
         t.counters.events_simulated = c.delivered + c.timers_fired;
-        t.counters.messages_dropped = c.dropped_partition + c.dropped_flaky + c.dropped_dead;
+        t.counters.messages_dropped =
+            c.dropped_partition + c.dropped_flaky + c.dropped_degraded + c.dropped_dead;
         t
     }
 }

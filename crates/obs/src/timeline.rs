@@ -62,10 +62,36 @@ impl Timeline {
         windows
     }
 
+    /// The lifetime of every gray-failure (degrade) rule installed during
+    /// the run, in install order. Degrade rules live in their own id
+    /// namespace, so these windows never alias partition windows.
+    pub fn degrade_windows(&self) -> Vec<FaultWindow> {
+        let mut windows: Vec<FaultWindow> = Vec::new();
+        for ev in &self.events {
+            match ev {
+                Event::DegradeInstalled { at, rule, .. } => {
+                    windows.push((*rule, *at, None));
+                }
+                Event::DegradeHealed { at, rule } => {
+                    if let Some(w) = windows
+                        .iter_mut()
+                        .find(|w| w.0 == *rule && w.2.is_none())
+                    {
+                        w.2 = Some(*at);
+                    }
+                }
+                _ => {}
+            }
+        }
+        windows
+    }
+
     /// Client operations whose `[start, end]` interval overlaps at least
-    /// one fault window — the "ops in flight" of the forensic narrative.
+    /// one fault window (partition or degrade) — the "ops in flight" of
+    /// the forensic narrative.
     pub fn ops_in_flight(&self) -> Vec<&Event> {
-        let windows = self.fault_windows();
+        let mut windows = self.fault_windows();
+        windows.extend(self.degrade_windows());
         self.events
             .iter()
             .filter(|e| match e {
@@ -126,7 +152,23 @@ impl Timeline {
                     ids(out, "b", b);
                     out.push_str(&format!(",\"pairs\":{pairs}"));
                 }
-                Event::PartitionHealed { at, rule } => {
+                Event::DegradeInstalled { at, rule, kind, a, b, pairs } => {
+                    out.push_str(&format!(",\"at\":{at},\"rule\":{rule},\"kind\":\"{kind}\""));
+                    let ids = |out: &mut String, name: &str, g: &[simnet::NodeId]| {
+                        out.push_str(&format!(",\"{name}\":["));
+                        for (i, n) in g.iter().enumerate() {
+                            if i > 0 {
+                                out.push(',');
+                            }
+                            out.push_str(&n.0.to_string());
+                        }
+                        out.push(']');
+                    };
+                    ids(out, "a", a);
+                    ids(out, "b", b);
+                    out.push_str(&format!(",\"pairs\":{pairs}"));
+                }
+                Event::PartitionHealed { at, rule } | Event::DegradeHealed { at, rule } => {
                     out.push_str(&format!(",\"at\":{at},\"rule\":{rule}"));
                 }
                 Event::Crashed { at, node } | Event::Restarted { at, node } => {
@@ -184,6 +226,37 @@ mod tests {
         let mut r = Recorder::new(true);
         r.partition_installed(5, 3, PartitionClass::Complete, vec![NodeId(0)], vec![NodeId(1)], 2);
         assert_eq!(r.snapshot().fault_windows(), vec![(3, 5, None)]);
+    }
+
+    #[test]
+    fn degrade_windows_pair_install_with_heal() {
+        let mut r = Recorder::new(true);
+        r.degrade_installed(
+            100,
+            0,
+            crate::DegradeClass::GrayPartial,
+            vec![NodeId(0)],
+            vec![NodeId(1)],
+            2,
+        );
+        r.op(150, 160, NodeId(2), "k".into(), "Write { .. }".into(), "Timeout".into());
+        r.degrade_healed(900, 0);
+        r.degrade_installed(
+            950,
+            1,
+            crate::DegradeClass::Flapping,
+            vec![NodeId(1)],
+            vec![NodeId(2)],
+            2,
+        );
+        let t = r.snapshot();
+        assert_eq!(t.degrade_windows(), vec![(0, 100, Some(900)), (1, 950, None)]);
+        assert!(t.fault_windows().is_empty(), "degrade rules are not partitions");
+        assert_eq!(t.ops_in_flight().len(), 1, "ops overlap degrade windows too");
+        let mut out = String::new();
+        t.write_jsonl("gray", &mut out);
+        assert!(out.contains("\"type\":\"degrade\",\"at\":100,\"rule\":0,\"kind\":\"gray-partial\""));
+        assert!(out.contains("\"type\":\"degrade-heal\",\"at\":900,\"rule\":0"));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use neat::{Neat, Op, OpRecord, Outcome};
+use neat::{Neat, Op, OpRecord, Outcome, RetryPolicy};
 use simnet::{Ctx, NodeId};
 
 use crate::{
@@ -61,13 +61,23 @@ impl KvClient {
         Self { target, ..self }
     }
 
-    fn run(&self, neat: &mut Neat<Proc>, req: Req, op: Op) -> Outcome {
-        let start = neat.now();
+    /// Wraps this handle in a retry loop: operations that time out are
+    /// re-sent under `policy`'s backoff schedule.
+    pub fn retrying(self, policy: RetryPolicy) -> RetryingKvClient {
+        RetryingKvClient {
+            inner: self,
+            policy,
+        }
+    }
+
+    /// One request/response attempt; does not touch the history.
+    fn attempt(&self, neat: &mut Neat<Proc>, req: &Req) -> Outcome {
         let target = self.target;
+        let req = req.clone();
         let started = neat.world.call(self.node, |p, ctx| {
             p.client_mut().start(ctx, target, req.clone())
         });
-        let outcome = match started {
+        match started {
             Err(_) => Outcome::Timeout,
             Ok(op_id) => {
                 let node = self.node;
@@ -82,7 +92,26 @@ impl KvClient {
                     None => Outcome::Timeout,
                 }
             }
-        };
+        }
+    }
+
+    /// Runs one *logical* operation under `policy`, recording exactly one
+    /// history record no matter how many attempts were made — the checkers
+    /// judge what the client believes happened, not the wire traffic, so a
+    /// retried non-idempotent op that executes twice server-side surfaces
+    /// as data corruption rather than as two innocent-looking records.
+    fn run_with(&self, neat: &mut Neat<Proc>, req: Req, op: Op, policy: &RetryPolicy) -> Outcome {
+        let start = neat.now();
+        let mut outcome = Outcome::Timeout;
+        for attempt in 1..=policy.max_attempts.max(1) {
+            if attempt > 1 {
+                neat.sleep(policy.delay_before(attempt - 1));
+            }
+            outcome = self.attempt(neat, &req);
+            if !matches!(outcome, Outcome::Timeout) {
+                break;
+            }
+        }
         let end = neat.now();
         neat.record(OpRecord {
             client: self.node,
@@ -92,6 +121,10 @@ impl KvClient {
             end,
         });
         outcome
+    }
+
+    fn run(&self, neat: &mut Neat<Proc>, req: Req, op: Op) -> Outcome {
+        self.run_with(neat, req, op, &RetryPolicy::none())
     }
 
     /// Writes `val` to `key`.
@@ -139,6 +172,77 @@ impl KvClient {
                 key: key.into(),
                 by,
             },
+        )
+    }
+}
+
+/// A [`KvClient`] that re-sends timed-out operations under a
+/// [`RetryPolicy`] — the retry-with-backoff side of the paper's
+/// observation that client-side handling decides a gray failure's impact.
+///
+/// Each logical operation still records exactly one [`OpRecord`]: the
+/// first attempt's start, the final attempt's end, and the final outcome.
+/// Retries of non-idempotent operations (e.g. [`RetryingKvClient::incr`])
+/// may execute server-side more than once; the counter checker then sees
+/// more increments than the history acknowledges.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryingKvClient {
+    /// The underlying single-shot client.
+    pub inner: KvClient,
+    /// The backoff schedule applied to timed-out attempts.
+    pub policy: RetryPolicy,
+}
+
+impl RetryingKvClient {
+    /// Points this handle at a different server.
+    pub fn via(self, target: NodeId) -> Self {
+        Self {
+            inner: self.inner.via(target),
+            ..self
+        }
+    }
+
+    /// Writes `val` to `key`, retrying timeouts (idempotent: safe).
+    pub fn write(&self, neat: &mut Neat<Proc>, key: &str, val: u64) -> Outcome {
+        self.inner.run_with(
+            neat,
+            Req::Write {
+                key: key.into(),
+                val,
+            },
+            Op::Write {
+                key: key.into(),
+                val,
+            },
+            &self.policy,
+        )
+    }
+
+    /// Reads `key`, retrying timeouts (idempotent: safe).
+    pub fn read(&self, neat: &mut Neat<Proc>, key: &str) -> Outcome {
+        self.inner.run_with(
+            neat,
+            Req::Read { key: key.into() },
+            Op::Read { key: key.into() },
+            &self.policy,
+        )
+    }
+
+    /// Adds `by` to the counter at `key`, retrying timeouts — dangerous:
+    /// the increment is not idempotent, so a retry whose predecessor
+    /// actually executed doubles the effect.
+    pub fn incr(&self, neat: &mut Neat<Proc>, key: &str, by: u64) -> Outcome {
+        self.inner.run_with(
+            neat,
+            Req::Incr {
+                key: key.into(),
+                by,
+            },
+            Op::Incr {
+                key: key.into(),
+                by,
+            },
+            &self.policy,
         )
     }
 }

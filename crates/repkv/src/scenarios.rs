@@ -9,8 +9,10 @@ use std::collections::BTreeMap;
 
 use neat::{
     checkers::{check_counter, check_register, RegisterSemantics},
-    rest_of, Violation, ViolationKind,
+    rest_of, DegradeSpec, RetryPolicy, Violation, ViolationKind,
 };
+use simnet::DegradeRule;
+
 use crate::{
     cluster::{Cluster, ClusterSpec},
     config::Config,
@@ -397,6 +399,191 @@ pub fn arbiter_thrashing(mut config: Config, seed: u64, record: bool) -> Scenari
     outcome
 }
 
+/// Gray failure §2.1: a flapping, totally lossy link strands the client
+/// from the leader during its active windows. A fire-and-forget client
+/// (`retry = false`) loses every write to the gray window — availability
+/// collapses although the cluster itself is healthy; a client retrying
+/// with backoff (`retry = true`) rides out the flaps and every write
+/// lands. Client-side handling decides the impact.
+pub fn gray_lossy_client_writes(retry: bool, seed: u64, record: bool) -> ScenarioOutcome {
+    let mut cluster = Cluster::build(spec(Config::fixed(), seed, record));
+    let leader = cluster.wait_for_leader(3000).expect("leader"); // lint:allow(unwrap-expect)
+    let c0 = cluster.clients[0];
+
+    // Total loss, flapping with a 600 ms half-period: the link is dead in
+    // [1200k, 1200k+600) and healthy in between — the paper's
+    // intermittently flaky NIC.
+    let flap = 600;
+    let d = cluster.neat.degrade(DegradeSpec::flapping(
+        vec![c0],
+        vec![leader],
+        DegradeRule::lossy(1.0),
+        flap,
+    ));
+
+    // Align to the start of the next degraded window.
+    let now = cluster.neat.now();
+    cluster.neat.sleep(2 * flap - (now % (2 * flap)) + 5);
+    cluster.neat.op_timeout = 150;
+
+    let client = cluster.client(0).via(leader);
+    let outcomes = if retry {
+        let rc = client.retrying(RetryPolicy::backoff(4, 150, seed));
+        vec![
+            rc.write(&mut cluster.neat, "gray1", 1),
+            rc.write(&mut cluster.neat, "gray2", 2),
+        ]
+    } else {
+        vec![
+            client.write(&mut cluster.neat, "gray1", 1),
+            client.write(&mut cluster.neat, "gray2", 2),
+        ]
+    };
+
+    cluster.neat.heal_degrade(&d);
+    cluster.neat.op_timeout = 1000;
+    cluster.settle(1000);
+
+    let mut outcome = finish(&mut cluster, &["gray1", "gray2"]);
+    if outcomes.iter().all(|o| !o.is_ok()) {
+        let v = Violation::new(
+            ViolationKind::DataUnavailability,
+            "every client write was lost to the flapping link; \
+             without retries the service is unavailable although the cluster is healthy",
+        );
+        outcome.timeline = cluster.neat.observe(std::slice::from_ref(&v));
+        outcome.violations.push(v);
+    }
+    outcome
+}
+
+/// Gray failure §2.1, simplex: the leader→client direction silently drops
+/// every response while requests still arrive and execute. A client that
+/// blindly retries its timed-out *increment* (`retry = true`) executes it
+/// once per attempt — the history acknowledges at most one increment, the
+/// counter shows three: data corruption. A no-retry client (`retry =
+/// false`) leaves one ambiguous timeout, which the checker accepts.
+pub fn gray_simplex_retry_double_incr(retry: bool, seed: u64, record: bool) -> ScenarioOutcome {
+    let mut cluster = Cluster::build(spec(Config::fixed(), seed, record));
+    let leader = cluster.wait_for_leader(3000).expect("leader"); // lint:allow(unwrap-expect)
+    let c0 = cluster.clients[0];
+
+    let d = cluster.neat.degrade(DegradeSpec::Simplex {
+        src: vec![leader],
+        dst: vec![c0],
+        rule: DegradeRule::lossy(1.0),
+    });
+
+    cluster.neat.op_timeout = 300;
+    let client = cluster.client(0).via(leader);
+    if retry {
+        client
+            .retrying(RetryPolicy::backoff(3, 100, seed))
+            .incr(&mut cluster.neat, "counter", 5);
+    } else {
+        client.incr(&mut cluster.neat, "counter", 5);
+    }
+
+    cluster.neat.heal_degrade(&d);
+    cluster.neat.op_timeout = 1000;
+    cluster.settle(1000);
+
+    let mut outcome = finish(&mut cluster, &[]);
+    let leader_now = cluster.leader().unwrap_or(leader);
+    let final_counter = cluster
+        .kv_of(leader_now)
+        .get("counter")
+        .copied()
+        .unwrap_or(0);
+    let extra = check_counter(cluster.neat.history(), "counter", 0, final_counter);
+    if !extra.is_empty() {
+        outcome.timeline = cluster.neat.observe(&extra);
+    }
+    outcome.violations.extend(extra);
+    outcome
+}
+
+/// Gray failure §2.1: a duplicating client→leader link delivers every
+/// request twice. A non-idempotent increment (`idempotent = false`)
+/// executes twice while the history acknowledges it once — data
+/// corruption; an idempotent put (`idempotent = true`) is harmlessly
+/// re-applied and the checkers stay quiet.
+pub fn gray_duplicating_link_incr(idempotent: bool, seed: u64, record: bool) -> ScenarioOutcome {
+    let mut cluster = Cluster::build(spec(Config::fixed(), seed, record));
+    let leader = cluster.wait_for_leader(3000).expect("leader"); // lint:allow(unwrap-expect)
+    let c0 = cluster.clients[0];
+
+    let d = cluster.neat.degrade(DegradeSpec::Simplex {
+        src: vec![c0],
+        dst: vec![leader],
+        rule: DegradeRule::duplicating(1.0),
+    });
+
+    let client = cluster.client(0).via(leader);
+    if idempotent {
+        client.write(&mut cluster.neat, "dup_key", 7);
+    } else {
+        client.incr(&mut cluster.neat, "counter", 3);
+    }
+
+    cluster.neat.heal_degrade(&d);
+    cluster.settle(1000);
+
+    let keys: &[&str] = if idempotent { &["dup_key"] } else { &[] };
+    let mut outcome = finish(&mut cluster, keys);
+    if !idempotent {
+        let leader_now = cluster.leader().unwrap_or(leader);
+        let final_counter = cluster
+            .kv_of(leader_now)
+            .get("counter")
+            .copied()
+            .unwrap_or(0);
+        let extra = check_counter(cluster.neat.history(), "counter", 0, final_counter);
+        if !extra.is_empty() {
+            outcome.timeline = cluster.neat.observe(&extra);
+        }
+        outcome.violations.extend(extra);
+    }
+    outcome
+}
+
+/// Gray failure §2.1: the leader's outbound links degrade to a crawl —
+/// not severed, merely slow. Replication acks arrive after the leader's
+/// replication timeout; the flawed apply-then-replicate profile answers
+/// *failure* while the local apply survives, and the next local read
+/// serves the failed value — a dirty read from a link that never dropped
+/// a single message. [`Config::fixed`] keeps the outcome ambiguous and
+/// applies only after commit, so nothing dirty becomes visible.
+pub fn gray_slow_replication_dirty_read(
+    mut config: Config,
+    seed: u64,
+    record: bool,
+) -> ScenarioOutcome {
+    // The leader's own heartbeat acks come back late too; it must not step
+    // down before serving the read that exposes the dirty value.
+    config.step_down_rounds = 30;
+    let mut cluster = Cluster::build(spec(config, seed, record));
+    let leader = cluster.wait_for_leader(3000).expect("leader"); // lint:allow(unwrap-expect)
+    let followers = rest_of(&cluster.servers, &[leader]);
+
+    // 260 ms of extra latency: past the 200 ms replication timeout, but a
+    // *constant* shift — heartbeats keep their spacing, so the cluster
+    // never suspects a partition.
+    let d = cluster.neat.degrade(DegradeSpec::Simplex {
+        src: vec![leader],
+        dst: followers,
+        rule: DegradeRule::slow(260, 0),
+    });
+
+    let c1 = cluster.client(0).via(leader);
+    c1.write(&mut cluster.neat, "slow_key", 20);
+    c1.read(&mut cluster.neat, "slow_key");
+
+    cluster.neat.heal_degrade(&d);
+    cluster.settle(2000);
+    finish(&mut cluster, &["slow_key"])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -520,6 +707,70 @@ mod tests {
         let out = arbiter_thrashing(Config::mongodb(), 19, false);
         assert!(out.elections >= 4, "only {} elections", out.elections);
         assert!(out.has(ViolationKind::Other));
+    }
+
+    #[test]
+    fn flapping_link_strands_the_no_retry_client() {
+        let out = gray_lossy_client_writes(false, 8, false);
+        assert!(
+            out.has(ViolationKind::DataUnavailability),
+            "{:?}",
+            out.violations
+        );
+    }
+
+    #[test]
+    fn backoff_retries_ride_out_the_flapping_link() {
+        let out = gray_lossy_client_writes(true, 8, false);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        // The retried writes actually landed.
+        assert_eq!(out.final_state.get("gray1"), Some(&Some(1)));
+        assert_eq!(out.final_state.get("gray2"), Some(&Some(2)));
+    }
+
+    #[test]
+    fn blind_retry_of_increment_double_executes() {
+        let out = gray_simplex_retry_double_incr(true, 8, false);
+        assert!(
+            out.has(ViolationKind::DataCorruption),
+            "{:?}",
+            out.violations
+        );
+    }
+
+    #[test]
+    fn single_ambiguous_timeout_is_not_corruption() {
+        let out = gray_simplex_retry_double_incr(false, 8, false);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+    }
+
+    #[test]
+    fn duplicating_link_corrupts_the_counter() {
+        let out = gray_duplicating_link_incr(false, 8, false);
+        assert!(
+            out.has(ViolationKind::DataCorruption),
+            "{:?}",
+            out.violations
+        );
+    }
+
+    #[test]
+    fn idempotent_puts_tolerate_duplication() {
+        let out = gray_duplicating_link_incr(true, 8, false);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert_eq!(out.final_state.get("dup_key"), Some(&Some(7)));
+    }
+
+    #[test]
+    fn slow_replication_dirty_read_on_voltdb_profile() {
+        let out = gray_slow_replication_dirty_read(Config::voltdb(), 8, false);
+        assert!(out.has(ViolationKind::DirtyRead), "{:?}", out.violations);
+    }
+
+    #[test]
+    fn slow_replication_clean_on_fixed_profile() {
+        let out = gray_slow_replication_dirty_read(Config::fixed(), 8, false);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //! - a network fabric with a configurable latency model and stacked
 //!   *directional block rules*, the primitive from which complete, partial,
 //!   and simplex network partitions (Figure 1 of the paper) are built,
+//! - per-link [`net::DegradeRule`]s for *gray failures* — targeted loss,
+//!   extra latency, jitter, and duplication, optionally flapping — the
+//!   flaky-link causes the paper traces partial partitions to (§2.1),
 //! - a structured [`trace::Trace`] of everything that happened, used by the
 //!   figure reproductions to print manifestation sequences.
 //!
@@ -46,7 +49,7 @@ pub mod trace;
 pub mod world;
 
 pub use event::{Time, TimerId};
-pub use net::{BlockRuleId, LinkConfig};
+pub use net::{BlockRuleId, DegradeRule, DegradeRuleId, LinkConfig};
 pub use trace::{Span, Trace, TraceEvent};
 pub use world::{Application, Ctx, SimError, World, WorldBuilder};
 

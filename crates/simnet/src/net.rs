@@ -1,4 +1,5 @@
-//! The network fabric: latency model and directional block rules.
+//! The network fabric: latency model, directional block rules, and
+//! per-link degrade rules.
 //!
 //! Network partitions are expressed as *block rules*: sets of directed
 //! `(src, dst)` pairs whose traffic is dropped. Rules stack — a pair is
@@ -13,6 +14,14 @@
 //! - **partial partition**: block both directions between two groups while a
 //!   third group stays connected to both;
 //! - **simplex partition**: block one direction only.
+//!
+//! *Gray failures* — the flaky, congested, or half-broken links the paper
+//! traces most partial partitions back to (§2.1) — are expressed as
+//! [`DegradeRule`]s: per-directed-pair loss probability, extra latency,
+//! jitter, and duplication probability, optionally flapping on a fixed
+//! period. Degrade rules stack like block rules and draw exclusively from
+//! the world's seeded RNG, so a degraded run is as reproducible as a
+//! clean one.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -23,6 +32,80 @@ use crate::{event::Time, NodeId};
 /// Identifier of an installed block rule, used to remove it on heal.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct BlockRuleId(pub u64);
+
+/// Identifier of an installed degrade rule, used to remove it on heal.
+///
+/// Degrade rules live in their own id namespace: a `DegradeRuleId` never
+/// aliases a [`BlockRuleId`], so forensic tooling can pair install/remove
+/// events per namespace without ambiguity.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct DegradeRuleId(pub u64);
+
+/// A gray-failure profile applied to a set of directed pairs: the link is
+/// *degraded*, not severed.
+///
+/// Every probabilistic knob draws from the world's seeded RNG, and a knob
+/// set to zero draws nothing at all — a rule whose knobs are all zero is
+/// byte-identical to no rule, which the property tests pin.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct DegradeRule {
+    /// Probability in `[0, 1]` that a message on a covered pair is lost.
+    pub loss: f64,
+    /// Fixed extra one-way latency added to every covered message, in
+    /// milliseconds — the congested-link cause of §2.1.
+    pub extra_latency: Time,
+    /// Maximum extra *random* latency; drawn uniformly from `0..=jitter`
+    /// per message when non-zero.
+    pub jitter: Time,
+    /// Probability in `[0, 1]` that a covered message is delivered twice —
+    /// the NIC/driver duplication gray failure. The duplicate is scheduled
+    /// independently (its own latency draw) and is never re-duplicated.
+    pub dup_probability: f64,
+    /// When non-zero, the rule *flaps*: it only applies while
+    /// `(now / flap_period) % 2 == 0`, so the link alternates between
+    /// degraded and healthy windows of `flap_period` milliseconds. Zero
+    /// means always active.
+    pub flap_period: Time,
+}
+
+impl DegradeRule {
+    /// A rule that drops covered messages with probability `loss`.
+    pub fn lossy(loss: f64) -> Self {
+        Self {
+            loss,
+            ..Self::default()
+        }
+    }
+
+    /// A rule that duplicates covered messages with probability `p`.
+    pub fn duplicating(p: f64) -> Self {
+        Self {
+            dup_probability: p,
+            ..Self::default()
+        }
+    }
+
+    /// A rule that slows covered messages by `extra_latency` plus up to
+    /// `jitter` of random delay.
+    pub fn slow(extra_latency: Time, jitter: Time) -> Self {
+        Self {
+            extra_latency,
+            jitter,
+            ..Self::default()
+        }
+    }
+
+    /// Makes this rule flap with the given period (builder style).
+    pub fn flapping(mut self, period: Time) -> Self {
+        self.flap_period = period;
+        self
+    }
+
+    /// Whether the rule applies at virtual time `now` (flap phase check).
+    pub fn active_at(&self, now: Time) -> bool {
+        self.flap_period == 0 || (now / self.flap_period) % 2 == 0
+    }
+}
 
 /// Latency model for every link in the fabric.
 #[derive(Clone, Copy, Debug)]
@@ -36,9 +119,12 @@ pub struct LinkConfig {
     /// delivered in send order, like a TCP connection. When `false`, jitter
     /// may reorder them, like UDP.
     pub fifo: bool,
-    /// Probability in `[0, 1]` that any message is silently dropped —
-    /// the *flaky link* condition the paper names as a cause of partial
-    /// partitions (§2.1). Deterministic given the world seed.
+    /// Probability in `[0, 1]` that any message — on *any* link — is
+    /// silently dropped. This is a global background-noise knob; it cannot
+    /// model the paper's flaky-link cause of partial partitions (§2.1),
+    /// because every pair degrades equally. For targeted per-link loss,
+    /// latency, or duplication install a [`DegradeRule`] instead.
+    /// Deterministic given the world seed.
     pub drop_probability: f64,
 }
 
@@ -60,6 +146,8 @@ pub struct Net {
     config: LinkConfig,
     rules: BTreeMap<BlockRuleId, BTreeSet<(NodeId, NodeId)>>,
     next_rule: u64,
+    degrades: BTreeMap<DegradeRuleId, (BTreeSet<(NodeId, NodeId)>, DegradeRule)>,
+    next_degrade: u64,
     /// Last scheduled delivery time per directed link, for FIFO enforcement.
     link_last: BTreeMap<(NodeId, NodeId), Time>,
 }
@@ -70,6 +158,8 @@ impl Net {
             config,
             rules: BTreeMap::new(),
             next_rule: 0,
+            degrades: BTreeMap::new(),
+            next_degrade: 0,
             link_last: BTreeMap::new(),
         }
     }
@@ -98,9 +188,102 @@ impl Net {
         self.rules.len()
     }
 
+    /// Installs a degrade rule over every directed pair in `pairs`.
+    pub fn degrade_pairs(
+        &mut self,
+        pairs: BTreeSet<(NodeId, NodeId)>,
+        rule: DegradeRule,
+    ) -> DegradeRuleId {
+        let id = DegradeRuleId(self.next_degrade);
+        self.next_degrade += 1;
+        self.degrades.insert(id, (pairs, rule));
+        id
+    }
+
+    /// Removes a previously installed degrade rule. Removing an unknown or
+    /// already removed rule is a no-op, so healing twice is harmless.
+    pub fn undegrade(&mut self, id: DegradeRuleId) {
+        self.degrades.remove(&id);
+    }
+
+    /// Returns `true` while any installed degrade rule covers `src → dst`
+    /// (regardless of flap phase — an installed flapping rule counts).
+    pub fn is_degraded(&self, src: NodeId, dst: NodeId) -> bool {
+        self.degrades
+            .values()
+            .any(|(set, _)| set.contains(&(src, dst)))
+    }
+
+    /// Number of currently installed degrade rules.
+    pub fn degrade_count(&self) -> usize {
+        self.degrades.len()
+    }
+
+    /// Degrade rules covering `src → dst` that apply at `now`, in id order.
+    fn active_degrades(
+        &self,
+        now: Time,
+        src: NodeId,
+        dst: NodeId,
+    ) -> impl Iterator<Item = &DegradeRule> {
+        self.degrades.values().filter_map(move |(set, rule)| {
+            (set.contains(&(src, dst)) && rule.active_at(now)).then_some(rule)
+        })
+    }
+
     /// Draws whether a message is lost to link flakiness.
     pub(crate) fn flaky_drop(&self, rng: &mut StdRng) -> bool {
         self.config.drop_probability > 0.0 && rng.gen_bool(self.config.drop_probability.min(1.0))
+    }
+
+    /// Draws whether a message on `src → dst` is lost to an active degrade
+    /// rule. Every active lossy rule draws once; zero-loss rules draw
+    /// nothing.
+    pub(crate) fn degrade_drop(
+        &self,
+        now: Time,
+        src: NodeId,
+        dst: NodeId,
+        rng: &mut StdRng,
+    ) -> bool {
+        let mut dropped = false;
+        for rule in self.active_degrades(now, src, dst) {
+            if rule.loss > 0.0 && rng.gen_bool(rule.loss.min(1.0)) {
+                dropped = true;
+            }
+        }
+        dropped
+    }
+
+    /// Draws whether a message on `src → dst` is duplicated by an active
+    /// degrade rule. Zero-probability rules draw nothing.
+    pub(crate) fn degrade_dup(
+        &self,
+        now: Time,
+        src: NodeId,
+        dst: NodeId,
+        rng: &mut StdRng,
+    ) -> bool {
+        let mut dup = false;
+        for rule in self.active_degrades(now, src, dst) {
+            if rule.dup_probability > 0.0 && rng.gen_bool(rule.dup_probability.min(1.0)) {
+                dup = true;
+            }
+        }
+        dup
+    }
+
+    /// Extra delay from active degrade rules on `src → dst`. Zero-jitter
+    /// rules draw nothing from the RNG.
+    fn degrade_delay(&self, now: Time, src: NodeId, dst: NodeId, rng: &mut StdRng) -> Time {
+        let mut extra = 0;
+        for rule in self.active_degrades(now, src, dst) {
+            extra += rule.extra_latency;
+            if rule.jitter > 0 {
+                extra += rng.gen_range(0..=rule.jitter);
+            }
+        }
+        extra
     }
 
     /// Computes the delivery time for a message sent now on `src → dst`.
@@ -110,7 +293,8 @@ impl Net {
         } else {
             rng.gen_range(0..=self.config.jitter)
         };
-        let mut at = now + self.config.base_latency + jitter;
+        let extra = self.degrade_delay(now, src, dst, rng);
+        let mut at = now + self.config.base_latency + jitter + extra;
         if self.config.fifo {
             let last = self.link_last.entry((src, dst)).or_insert(0);
             if at < *last {
@@ -121,15 +305,25 @@ impl Net {
         at
     }
 
-    /// Renders the connectivity matrix as a string of `1`/`0` rows, used by
-    /// the Figure 1 reproduction. Row `i`, column `j` is `1` when `i → j`
-    /// traffic flows (the diagonal is always `1`).
+    /// Renders the connectivity matrix as a string of `1`/`0`/`~` rows, used
+    /// by the Figure 1 reproduction. Row `i`, column `j` is `1` when `i → j`
+    /// traffic flows cleanly, `0` when a block rule severs it, and `~` when a
+    /// degrade rule covers it (lossy, not severed — a block rule wins over a
+    /// degrade rule). The diagonal is always `1`.
     pub fn connectivity_matrix(&self, n: usize) -> String {
         let mut out = String::new();
         for i in 0..n {
             for j in 0..n {
-                let ok = i == j || !self.is_blocked(NodeId(i), NodeId(j));
-                out.push(if ok { '1' } else { '0' });
+                let glyph = if i == j {
+                    '1'
+                } else if self.is_blocked(NodeId(i), NodeId(j)) {
+                    '0'
+                } else if self.is_degraded(NodeId(i), NodeId(j)) {
+                    '~'
+                } else {
+                    '1'
+                };
+                out.push(glyph);
                 if j + 1 < n {
                     out.push(' ');
                 }
@@ -266,5 +460,125 @@ mod tests {
         net.block_pairs(simplex_pairs(&ids(&[0]), &ids(&[1])));
         let m = net.connectivity_matrix(2);
         assert_eq!(m, "1 0\n1 1\n");
+    }
+
+    #[test]
+    fn connectivity_matrix_distinguishes_lossy_from_severed() {
+        let mut net = Net::new(LinkConfig::default());
+        net.block_pairs(simplex_pairs(&ids(&[0]), &ids(&[1])));
+        let d = net.degrade_pairs(
+            bidirectional_pairs(&ids(&[1]), &ids(&[2])),
+            DegradeRule::lossy(0.5),
+        );
+        // 0→1 severed, 1↔2 lossy, everything else clean.
+        assert_eq!(net.connectivity_matrix(3), "1 0 1\n1 1 ~\n1 ~ 1\n");
+        net.undegrade(d);
+        assert_eq!(net.connectivity_matrix(3), "1 0 1\n1 1 1\n1 1 1\n");
+    }
+
+    #[test]
+    fn block_rule_wins_over_degrade_in_matrix() {
+        let mut net = Net::new(LinkConfig::default());
+        net.degrade_pairs(
+            simplex_pairs(&ids(&[0]), &ids(&[1])),
+            DegradeRule::lossy(0.9),
+        );
+        net.block_pairs(simplex_pairs(&ids(&[0]), &ids(&[1])));
+        assert_eq!(net.connectivity_matrix(2), "1 0\n1 1\n");
+    }
+
+    #[test]
+    fn degrade_rules_stack_and_heal_independently() {
+        let mut net = Net::new(LinkConfig::default());
+        let d1 = net.degrade_pairs(
+            simplex_pairs(&ids(&[0]), &ids(&[1])),
+            DegradeRule::lossy(0.5),
+        );
+        let d2 = net.degrade_pairs(
+            bidirectional_pairs(&ids(&[0]), &ids(&[1])),
+            DegradeRule::duplicating(0.5),
+        );
+        assert!(net.is_degraded(NodeId(0), NodeId(1)));
+        assert!(net.is_degraded(NodeId(1), NodeId(0)));
+        net.undegrade(d2);
+        assert!(net.is_degraded(NodeId(0), NodeId(1)));
+        assert!(!net.is_degraded(NodeId(1), NodeId(0)));
+        net.undegrade(d1);
+        net.undegrade(d1); // double heal is a no-op
+        assert_eq!(net.degrade_count(), 0);
+    }
+
+    #[test]
+    fn zero_knob_rules_consume_no_rng() {
+        let mut net = Net::new(LinkConfig {
+            base_latency: 1,
+            jitter: 0,
+            fifo: true,
+            drop_probability: 0.0,
+        });
+        net.degrade_pairs(
+            bidirectional_pairs(&ids(&[0]), &ids(&[1])),
+            DegradeRule::default(),
+        );
+        let mut rng = StdRng::seed_from_u64(7);
+        let before: u64 = rng.gen_range(0..u64::MAX);
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(!net.degrade_drop(0, NodeId(0), NodeId(1), &mut rng));
+        assert!(!net.degrade_dup(0, NodeId(0), NodeId(1), &mut rng));
+        let at = net.delivery_time(0, NodeId(0), NodeId(1), &mut rng);
+        assert_eq!(at, 1, "zero-knob rule must not delay");
+        assert_eq!(
+            rng.gen_range(0..u64::MAX),
+            before,
+            "zero-knob rule drew from the RNG"
+        );
+    }
+
+    #[test]
+    fn total_loss_always_drops_and_slow_rules_delay() {
+        let mut net = Net::new(LinkConfig {
+            base_latency: 1,
+            jitter: 0,
+            fifo: false,
+            drop_probability: 0.0,
+        });
+        net.degrade_pairs(
+            simplex_pairs(&ids(&[0]), &ids(&[1])),
+            DegradeRule::lossy(1.0),
+        );
+        net.degrade_pairs(
+            simplex_pairs(&ids(&[0]), &ids(&[1])),
+            DegradeRule::slow(50, 0),
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(net.degrade_drop(0, NodeId(0), NodeId(1), &mut rng));
+        // The uncovered direction is untouched.
+        assert!(!net.degrade_drop(0, NodeId(1), NodeId(0), &mut rng));
+        assert_eq!(net.delivery_time(0, NodeId(0), NodeId(1), &mut rng), 51);
+        assert_eq!(net.delivery_time(0, NodeId(1), NodeId(0), &mut rng), 1);
+    }
+
+    #[test]
+    fn flapping_rules_alternate_active_windows() {
+        let rule = DegradeRule::lossy(1.0).flapping(100);
+        assert!(rule.active_at(0));
+        assert!(rule.active_at(99));
+        assert!(!rule.active_at(100));
+        assert!(!rule.active_at(199));
+        assert!(rule.active_at(200));
+
+        let mut net = Net::new(LinkConfig {
+            base_latency: 1,
+            jitter: 0,
+            fifo: false,
+            drop_probability: 0.0,
+        });
+        net.degrade_pairs(simplex_pairs(&ids(&[0]), &ids(&[1])), rule);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(net.degrade_drop(50, NodeId(0), NodeId(1), &mut rng));
+        assert!(
+            !net.degrade_drop(150, NodeId(0), NodeId(1), &mut rng),
+            "flapping rule must be inactive in its healthy window"
+        );
     }
 }

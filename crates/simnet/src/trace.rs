@@ -9,7 +9,11 @@
 
 #![deny(missing_docs)]
 
-use crate::{event::Time, net::BlockRuleId, NodeId};
+use crate::{
+    event::Time,
+    net::{BlockRuleId, DegradeRuleId},
+    NodeId,
+};
 
 /// Why a message was dropped instead of delivered.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -19,6 +23,9 @@ pub enum DropReason {
     /// The flaky-link model dropped the message
     /// ([`crate::LinkConfig::drop_probability`]).
     Flaky,
+    /// A per-link [`crate::DegradeRule`] lost the message — targeted
+    /// gray-failure loss, distinct from the global flaky model.
+    Degraded,
     /// The destination node was crashed at delivery time.
     DeadDestination,
     /// The source node crashed between send and delivery.
@@ -30,6 +37,7 @@ impl std::fmt::Display for DropReason {
         let s = match self {
             DropReason::Partition => "partition",
             DropReason::Flaky => "flaky link",
+            DropReason::Degraded => "degraded link",
             DropReason::DeadDestination => "dead destination",
             DropReason::DeadSource => "dead source",
         };
@@ -114,6 +122,34 @@ pub enum TraceEvent {
         /// Handle of the removed rule.
         rule: BlockRuleId,
     },
+    /// A degrade rule (gray failure) was installed.
+    DegradeRuleInstalled {
+        /// Virtual install time.
+        at: Time,
+        /// Handle of the installed rule.
+        rule: DegradeRuleId,
+        /// Directed (from, to) pairs the rule degrades.
+        pairs: usize,
+    },
+    /// A degrade rule was removed (link restored).
+    DegradeRuleRemoved {
+        /// Virtual removal time.
+        at: Time,
+        /// Handle of the removed rule.
+        rule: DegradeRuleId,
+    },
+    /// A degrade rule duplicated a message: a second delivery of the same
+    /// payload was scheduled at send time.
+    Duplicated {
+        /// Virtual send time (when the duplicate was scheduled).
+        at: Time,
+        /// Sender.
+        from: NodeId,
+        /// Addressee.
+        to: NodeId,
+        /// Rendered message payload.
+        what: String,
+    },
     /// A free-form annotation emitted by an application via
     /// [`crate::Ctx::note`].
     Note {
@@ -138,6 +174,9 @@ impl TraceEvent {
             | TraceEvent::Restarted { at, .. }
             | TraceEvent::RuleInstalled { at, .. }
             | TraceEvent::RuleRemoved { at, .. }
+            | TraceEvent::DegradeRuleInstalled { at, .. }
+            | TraceEvent::DegradeRuleRemoved { at, .. }
+            | TraceEvent::Duplicated { at, .. }
             | TraceEvent::Note { at, .. } => *at,
         }
     }
@@ -170,6 +209,19 @@ impl std::fmt::Display for TraceEvent {
             TraceEvent::RuleRemoved { at, rule } => {
                 write!(f, "[{at:>6}] net  heal rule {}", rule.0)
             }
+            TraceEvent::DegradeRuleInstalled { at, rule, pairs } => {
+                write!(
+                    f,
+                    "[{at:>6}] net  degrade rule {} ({pairs} pairs)",
+                    rule.0
+                )
+            }
+            TraceEvent::DegradeRuleRemoved { at, rule } => {
+                write!(f, "[{at:>6}] net  restore rule {}", rule.0)
+            }
+            TraceEvent::Duplicated { at, from, to, what } => {
+                write!(f, "[{at:>6}] {from} ~> {to}  duplicate {what}")
+            }
             TraceEvent::Note { at, node, text } => write!(f, "[{at:>6}] {node}  {text}"),
         }
     }
@@ -186,6 +238,10 @@ pub struct Counters {
     pub dropped_partition: u64,
     /// Messages dropped by the flaky-link model.
     pub dropped_flaky: u64,
+    /// Messages dropped by a per-link degrade rule.
+    pub dropped_degraded: u64,
+    /// Messages duplicated by a per-link degrade rule.
+    pub duplicated: u64,
     /// Messages dropped because an endpoint was down.
     pub dropped_dead: u64,
     /// Timers that fired at live nodes.
@@ -225,20 +281,36 @@ pub enum Span {
         /// Virtual restart time (`None` = still down at the end).
         end: Option<Time>,
     },
+    /// A degrade rule's lifetime, from install to removal (the gray-failure
+    /// window; for flapping rules this is the envelope, not each flap).
+    Degrade {
+        /// Handle of the degrade rule.
+        rule: DegradeRuleId,
+        /// Directed pairs it degraded.
+        pairs: usize,
+        /// Virtual install time.
+        start: Time,
+        /// Virtual removal time (`None` = never restored).
+        end: Option<Time>,
+    },
 }
 
 impl Span {
     /// Virtual start of the interval.
     pub fn start(&self) -> Time {
         match self {
-            Span::Partition { start, .. } | Span::Down { start, .. } => *start,
+            Span::Partition { start, .. }
+            | Span::Down { start, .. }
+            | Span::Degrade { start, .. } => *start,
         }
     }
 
     /// Virtual end of the interval (`None` = still open).
     pub fn end(&self) -> Option<Time> {
         match self {
-            Span::Partition { end, .. } | Span::Down { end, .. } => *end,
+            Span::Partition { end, .. } | Span::Down { end, .. } | Span::Degrade { end, .. } => {
+                *end
+            }
         }
     }
 
@@ -301,6 +373,8 @@ impl Trace {
                         | TraceEvent::Restarted { .. }
                         | TraceEvent::RuleInstalled { .. }
                         | TraceEvent::RuleRemoved { .. }
+                        | TraceEvent::DegradeRuleInstalled { .. }
+                        | TraceEvent::DegradeRuleRemoved { .. }
                 )
             })
             .map(|e| format!("{e}\n"))
@@ -323,6 +397,21 @@ impl Trace {
                 TraceEvent::RuleRemoved { at, rule } => {
                     if let Some(Span::Partition { end, .. }) = spans.iter_mut().find(|s| {
                         matches!(s, Span::Partition { rule: r, end: None, .. } if r == rule)
+                    }) {
+                        *end = Some(*at);
+                    }
+                }
+                TraceEvent::DegradeRuleInstalled { at, rule, pairs } => {
+                    spans.push(Span::Degrade {
+                        rule: *rule,
+                        pairs: *pairs,
+                        start: *at,
+                        end: None,
+                    })
+                }
+                TraceEvent::DegradeRuleRemoved { at, rule } => {
+                    if let Some(Span::Degrade { end, .. }) = spans.iter_mut().find(|s| {
+                        matches!(s, Span::Degrade { rule: r, end: None, .. } if r == rule)
                     }) {
                         *end = Some(*at);
                     }
@@ -422,6 +511,56 @@ mod tests {
         assert!(spans[0].overlaps(40, 60));
         assert!(!spans[0].overlaps(51, 60));
         assert!(spans[1].overlaps(99, 99), "open span extends to end of run");
+    }
+
+    #[test]
+    fn degrade_events_render_and_pair_into_spans() {
+        let inst = TraceEvent::DegradeRuleInstalled {
+            at: 5,
+            rule: DegradeRuleId(0),
+            pairs: 2,
+        };
+        assert_eq!(format!("{inst}"), "[     5] net  degrade rule 0 (2 pairs)");
+        let dup = TraceEvent::Duplicated {
+            at: 7,
+            from: NodeId(0),
+            to: NodeId(1),
+            what: "Ping".into(),
+        };
+        assert_eq!(format!("{dup}"), "[     7] n0 ~> n1  duplicate Ping");
+        assert_eq!(
+            format!(
+                "{}",
+                TraceEvent::Dropped {
+                    at: 9,
+                    from: NodeId(0),
+                    to: NodeId(1),
+                    what: "Ping".into(),
+                    reason: DropReason::Degraded,
+                }
+            ),
+            "[     9] n0 -x n1  DROP (degraded link) Ping"
+        );
+
+        let mut t = Trace::new(true);
+        t.push(inst);
+        t.push(TraceEvent::DegradeRuleRemoved {
+            at: 40,
+            rule: DegradeRuleId(0),
+        });
+        let spans = t.spans();
+        assert_eq!(
+            spans,
+            vec![Span::Degrade {
+                rule: DegradeRuleId(0),
+                pairs: 2,
+                start: 5,
+                end: Some(40),
+            }]
+        );
+        let s = t.summary();
+        assert!(s.contains("degrade rule 0"));
+        assert!(s.contains("restore rule 0"));
     }
 
     #[test]

@@ -6,7 +6,7 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 
 use crate::{
     event::{EventKind, EventQueue, Time, TimerId},
-    net::{BlockRuleId, LinkConfig, Net},
+    net::{BlockRuleId, DegradeRule, DegradeRuleId, LinkConfig, Net},
     trace::{DropReason, Trace, TraceEvent},
     NodeId,
 };
@@ -318,6 +318,32 @@ impl<A: Application> World<A> {
         self.trace.push(TraceEvent::RuleRemoved { at: self.now, rule: id });
     }
 
+    /// Installs a degrade rule (gray failure) over explicit directed pairs.
+    /// Most callers use the `DegradeSpec` helpers in the `neat` crate.
+    pub fn degrade_pairs(
+        &mut self,
+        pairs: BTreeSet<(NodeId, NodeId)>,
+        rule: DegradeRule,
+    ) -> DegradeRuleId {
+        let n = pairs.len();
+        let id = self.net.degrade_pairs(pairs, rule);
+        self.trace.push(TraceEvent::DegradeRuleInstalled {
+            at: self.now,
+            rule: id,
+            pairs: n,
+        });
+        id
+    }
+
+    /// Removes a degrade rule (restores those links).
+    pub fn undegrade(&mut self, id: DegradeRuleId) {
+        self.net.undegrade(id);
+        self.trace.push(TraceEvent::DegradeRuleRemoved {
+            at: self.now,
+            rule: id,
+        });
+    }
+
     /// Crashes a node: volatile state is cleared via
     /// [`Application::on_crash`], pending timers die, and messages addressed
     /// to it are dropped until it restarts.
@@ -392,6 +418,29 @@ impl<A: Application> World<A> {
                         });
                     }
                     let at = self.net.delivery_time(self.now, from, to, &mut self.rng);
+                    // Duplication is drawn once at send time (a duplicate is
+                    // never re-duplicated) and the copy gets its own latency
+                    // draw, so it can arrive before or after the original.
+                    if self.net.degrade_dup(self.now, from, to, &mut self.rng) {
+                        self.trace.counters.duplicated += 1;
+                        if self.trace.recording() {
+                            self.trace.push(TraceEvent::Duplicated {
+                                at: self.now,
+                                from,
+                                to,
+                                what: format!("{msg:?}"),
+                            });
+                        }
+                        let at2 = self.net.delivery_time(self.now, from, to, &mut self.rng);
+                        self.queue.push(
+                            at2,
+                            EventKind::Deliver {
+                                from,
+                                to,
+                                msg: (msg.clone(), src_epoch),
+                            },
+                        );
+                    }
                     self.queue.push(
                         at,
                         EventKind::Deliver {
@@ -463,6 +512,8 @@ impl<A: Application> World<A> {
             Some(DropReason::Partition)
         } else if self.net.flaky_drop(&mut self.rng) {
             Some(DropReason::Flaky)
+        } else if self.net.degrade_drop(self.now, from, to, &mut self.rng) {
+            Some(DropReason::Degraded)
         } else if !self.slots[to.0].alive {
             Some(DropReason::DeadDestination)
         } else if self.purge_in_flight_on_crash && self.slots[from.0].epoch != src_epoch {
@@ -474,6 +525,7 @@ impl<A: Application> World<A> {
             match reason {
                 DropReason::Partition => self.trace.counters.dropped_partition += 1,
                 DropReason::Flaky => self.trace.counters.dropped_flaky += 1,
+                DropReason::Degraded => self.trace.counters.dropped_degraded += 1,
                 _ => self.trace.counters.dropped_dead += 1,
             }
             if self.trace.recording() {
@@ -746,6 +798,91 @@ mod tests {
         w.run_for(1000);
         assert_eq!(w.trace().counters.dropped_flaky, 0);
         assert_eq!(w.trace().counters.delivered, 50);
+    }
+
+    #[test]
+    fn degraded_link_loses_messages_until_restored() {
+        let mut w = two_nodes();
+        let d = w.degrade_pairs(
+            crate::net::simplex_pairs(&[NodeId(0)], &[NodeId(1)]),
+            DegradeRule::lossy(1.0),
+        );
+        for i in 0..5u64 {
+            w.call(NodeId(0), |_, ctx| ctx.send(NodeId(1), i * 2 + 1)).unwrap();
+        }
+        w.run_until_idle();
+        assert!(w.app(NodeId(1)).seen.is_empty());
+        assert_eq!(w.trace().counters.dropped_degraded, 5);
+
+        w.undegrade(d);
+        w.call(NodeId(0), |_, ctx| ctx.send(NodeId(1), 4)).unwrap();
+        w.run_until_idle();
+        assert_eq!(w.app(NodeId(1)).seen, vec![4]);
+    }
+
+    #[test]
+    fn duplicating_link_delivers_twice() {
+        let mut w = two_nodes();
+        w.degrade_pairs(
+            crate::net::simplex_pairs(&[NodeId(0)], &[NodeId(1)]),
+            DegradeRule::duplicating(1.0),
+        );
+        w.call(NodeId(0), |_, ctx| ctx.send(NodeId(1), 7)).unwrap();
+        w.run_until_idle();
+        assert_eq!(w.app(NodeId(1)).seen, vec![7, 7]);
+        let c = w.trace().counters;
+        assert_eq!(c.sent, 1, "a duplicate is a fabric artifact, not a send");
+        assert_eq!(c.duplicated, 1);
+        assert_eq!(c.delivered, 2);
+        // The reply direction is untouched: replies (odd values get none
+        // here) would flow once.
+    }
+
+    #[test]
+    fn flapping_rule_only_degrades_in_active_windows() {
+        let mut w = two_nodes();
+        w.degrade_pairs(
+            crate::net::simplex_pairs(&[NodeId(0)], &[NodeId(1)]),
+            DegradeRule::lossy(1.0).flapping(100),
+        );
+        // Delivered at ~t=101..150: the healthy window.
+        w.run_until(100);
+        w.call(NodeId(0), |_, ctx| ctx.send(NodeId(1), 2)).unwrap();
+        w.run_until(199);
+        assert_eq!(w.app(NodeId(1)).seen, vec![2]);
+        // Delivered at ~t=201: back in the degraded window.
+        w.run_until(200);
+        w.call(NodeId(0), |_, ctx| ctx.send(NodeId(1), 4)).unwrap();
+        w.run_until_idle();
+        assert_eq!(w.app(NodeId(1)).seen, vec![2]);
+        assert_eq!(w.trace().counters.dropped_degraded, 1);
+    }
+
+    #[test]
+    fn degrade_runs_are_deterministic_per_seed() {
+        let run = |seed| {
+            let mut w = WorldBuilder::new(seed).build(2, |_| Echo::new());
+            w.degrade_pairs(
+                crate::net::bidirectional_pairs(&[NodeId(0)], &[NodeId(1)]),
+                DegradeRule {
+                    loss: 0.3,
+                    extra_latency: 5,
+                    jitter: 7,
+                    dup_probability: 0.2,
+                    flap_period: 40,
+                },
+            );
+            for i in 0..50u64 {
+                w.call(NodeId(0), |_, ctx| ctx.send(NodeId(1), i * 2)).unwrap();
+                w.run_for(3);
+            }
+            w.run_for(500);
+            w.trace().counters
+        };
+        assert_eq!(run(11), run(11));
+        let c = run(11);
+        assert!(c.dropped_degraded > 0, "{c:?}");
+        assert!(c.duplicated > 0, "{c:?}");
     }
 
     #[test]

@@ -73,6 +73,7 @@ macro_rules! impl_scenario_run {
 impl_scenario_run!(
     repkv::scenarios::ScenarioOutcome,
     consensus::scenarios::ReconfigOutcome,
+    consensus::scenarios::LossyLinkOutcome,
     coord::scenarios::CoordOutcome,
     mqueue::scenarios::MqOutcome,
     gridstore::scenarios::GridOutcome,
@@ -562,6 +563,66 @@ pub fn registry() -> Vec<ScenarioSpec> {
                     rec,
                 )
             })),
+        );
+    }
+    // --- Gray failures (§2.1 flaky links, degraded not severed) -----------
+    {
+        use repkv::{scenarios as s, Config};
+        push(
+            "gray_lossy_client_writes",
+            "RepKV",
+            "§2.1 flaky link",
+            "flapping",
+            runner(|sd, rec| s::gray_lossy_client_writes(false, sd, rec)),
+            Some(runner(|sd, rec| s::gray_lossy_client_writes(true, sd, rec))),
+        );
+        push(
+            "gray_simplex_retry_double_incr",
+            "RepKV",
+            "§2.1 retry / Table 6",
+            "gray-simplex",
+            runner(|sd, rec| s::gray_simplex_retry_double_incr(true, sd, rec)),
+            Some(runner(|sd, rec| s::gray_simplex_retry_double_incr(false, sd, rec))),
+        );
+        push(
+            "gray_duplicating_link_incr",
+            "RepKV",
+            "§2.1 duplication",
+            "gray-simplex",
+            runner(|sd, rec| s::gray_duplicating_link_incr(false, sd, rec)),
+            Some(runner(|sd, rec| s::gray_duplicating_link_incr(true, sd, rec))),
+        );
+        push(
+            "gray_slow_replication_dirty_read",
+            "VoltDB",
+            "ENG-10389 under latency",
+            "gray-simplex",
+            runner(|sd, rec| s::gray_slow_replication_dirty_read(Config::voltdb(), sd, rec)),
+            Some(runner(|sd, rec| {
+                s::gray_slow_replication_dirty_read(Config::fixed(), sd, rec)
+            })),
+        );
+    }
+    {
+        use consensus::scenarios as s;
+        push(
+            "lossy_leader_link",
+            "Raft",
+            "§2.1 flaky link",
+            "gray-partial",
+            runner(|sd, rec| s::lossy_leader_link(true, sd, rec)),
+            Some(runner(|sd, rec| s::lossy_leader_link(false, sd, rec))),
+        );
+    }
+    {
+        use mqueue::{scenarios as s, BrokerFlaws};
+        push(
+            "flapping_link_hang",
+            "ActiveMQ",
+            "AMQ-7064, flapping link",
+            "flapping",
+            runner(|sd, rec| s::flapping_link_hang(BrokerFlaws::flawed(), sd, rec)),
+            Some(runner(|sd, rec| s::flapping_link_hang(BrokerFlaws::fixed(), sd, rec))),
         );
     }
     specs

@@ -11,6 +11,22 @@
 use std::path::Path;
 use std::process::Command;
 
+/// The gray-failure modules were born `#![deny(missing_docs)]`; keep it
+/// that way — `cargo doc -D warnings` alone would not notice the deny
+/// being quietly dropped.
+#[test]
+fn gray_failure_modules_deny_missing_docs() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    for module in ["crates/neat/src/gray.rs", "crates/neat/src/retry.rs"] {
+        let src = std::fs::read_to_string(root.join(module))
+            .unwrap_or_else(|e| panic!("cannot read {module}: {e}"));
+        assert!(
+            src.contains("#![deny(missing_docs)]"),
+            "{module} lost its #![deny(missing_docs)] attribute"
+        );
+    }
+}
+
 #[test]
 fn forensics_layer_docs_build_without_warnings() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));

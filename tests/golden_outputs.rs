@@ -92,6 +92,18 @@ fn forensics_bench_artifact_is_fresh() {
     );
 }
 
+/// Like the forensics counters, the gray-failure report is a pure
+/// function of the seed: byte-for-byte golden.
+#[test]
+fn gray_bench_artifact_is_fresh() {
+    assert_fresh(
+        "BENCH_gray.json",
+        &read("BENCH_gray.json"),
+        &bench::reports::gray_machine_json(),
+        "cargo run --release -p bench --bin gray",
+    );
+}
+
 /// Every violation the campaign detects at seed 8 must be explained by a
 /// forensics timeline: same scenario set, same verdict count.
 #[test]
@@ -163,6 +175,7 @@ fn all_golden_artifacts_exist() {
         "forensics_output.txt",
         "BENCH_fleet.json",
         "BENCH_forensics.json",
+        "BENCH_gray.json",
     ] {
         assert!(
             Path::new(&root().join(name)).exists(),
