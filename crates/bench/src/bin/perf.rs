@@ -1,0 +1,35 @@
+//! Measures the fingerprinting and simulator hot paths and writes
+//! `BENCH_perf.json` at the repo root: simulator events/sec, full-campaign
+//! and audit wall-clock (streamed vs rendered fingerprints), and the
+//! deterministic allocation/event counters the perf gate asserts.
+//!
+//! ```text
+//! cargo run --release -p bench --bin perf            # writes BENCH_perf.json
+//! cargo run --release -p bench --bin perf -- --print # stdout only
+//! ```
+
+use std::process::ExitCode;
+
+// The allocation counters in the `deterministic` section only count when
+// the measuring binary routes its heap through the counting allocator.
+#[global_allocator]
+static ALLOC: alloc_counter::CountingAlloc = alloc_counter::CountingAlloc;
+
+fn main() -> ExitCode {
+    let print_only = std::env::args().any(|a| a == "--print");
+    let bench = bench::perf_bench::measure(8, 10);
+    let json = bench.to_pretty_json();
+    if print_only {
+        print!("{json}");
+        return ExitCode::SUCCESS;
+    }
+    // The manifest dir is crates/bench; the artifact lives at the root.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_perf.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("perf: cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {path}");
+    print!("{json}");
+    ExitCode::SUCCESS
+}

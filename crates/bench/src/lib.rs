@@ -19,9 +19,12 @@
 //! the committed artifacts — `campaign_output.txt`, `tables_output.txt`,
 //! `figures_output.txt` — and diff them without spawning processes;
 //! [`fleet_bench`] is the serial-vs-parallel wall-clock measurement
-//! behind `BENCH_fleet.json` (`cargo run -p bench --bin fleet_bench`).
+//! behind `BENCH_fleet.json` (`cargo run -p bench --bin fleet_bench`),
+//! and [`perf_bench`] is the hot-path measurement behind
+//! `BENCH_perf.json` (`cargo run -p bench --bin perf`).
 
 pub mod fleet_bench;
+pub mod perf_bench;
 pub mod reports;
 
 /// Renders a horizontal bar for quick shape comparison in terminal output.

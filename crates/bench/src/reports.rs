@@ -428,8 +428,8 @@ pub fn gray_machine_json() -> String {
         if i > 0 {
             out.push(',');
         }
-        let flawed = (s.flawed)(8, true);
-        let fixed = s.fixed.as_ref().map(|f| f(8, true));
+        let flawed = (s.flawed)(8, neat_repro::campaign::RunMode::Trace);
+        let fixed = s.fixed.as_ref().map(|f| f(8, neat_repro::campaign::RunMode::Trace));
         out.push_str("{\"scenario\":");
         study::json::push_json_str(&mut out, s.name);
         out.push_str(",\"partition\":");

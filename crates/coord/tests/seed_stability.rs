@@ -1,15 +1,14 @@
 //! Seed stability: same seed ⇒ identical scenario fingerprint and trace
 //! hash (DESIGN.md determinism rules; the campaign-wide version runs via
-//! `cargo run -p lint -- --audit`).
+//! `cargo run -p lint -- --audit`). The hash is taken both ways —
+//! streamed via `neat::audit::stream_hash` (the allocation-free audit
+//! fast path) and over the rendered bytes — and the two must agree.
 
 use coord::{scenarios, CoordFlaws};
 use proptest::prelude::*;
 
-fn fingerprint(seed: u64) -> String {
-    format!(
-        "{:#?}",
-        scenarios::txnlog_sync_corruption(CoordFlaws::default(), seed, true)
-    )
+fn outcome(seed: u64) -> impl std::fmt::Debug {
+    scenarios::txnlog_sync_corruption(CoordFlaws::default(), seed, true)
 }
 
 proptest! {
@@ -17,8 +16,14 @@ proptest! {
 
     #[test]
     fn same_seed_same_trace(seed in 0u64..100_000) {
-        let (a, b) = (fingerprint(seed), fingerprint(seed));
-        prop_assert_eq!(neat::audit::trace_hash(&a), neat::audit::trace_hash(&b));
+        let (oa, ob) = (outcome(seed), outcome(seed));
+        // The streamed hash (the audit fast path) must be seed-stable...
+        let (ha, hb) = (neat::audit::stream_hash(&oa), neat::audit::stream_hash(&ob));
+        prop_assert_eq!(ha, hb);
+        // ...and equal byte-for-byte to hashing the rendered fingerprint.
+        let (a, b) = (format!("{oa:#?}"), format!("{ob:#?}"));
+        prop_assert_eq!(ha, neat::audit::trace_hash(&a));
+        prop_assert_eq!(hb, neat::audit::trace_hash(&b));
         prop_assert_eq!(a, b);
     }
 }

@@ -10,7 +10,8 @@
 
 use neat::audit::{audit_double_run, AuditOutcome};
 use neat_repro::campaign::{
-    arm_ids, forensic_at, run_arm, run_scenario_at, scenario_count, ScenarioResult, SweepReport,
+    arm_ids, forensic_at, run_arm, run_scenario_at, scenario_count, RunMode, ScenarioResult,
+    SweepReport,
 };
 
 use crate::pool;
@@ -44,7 +45,11 @@ pub fn fingerprints(seed: u64, jobs: usize) -> Vec<(String, String)> {
     let arms = arm_ids();
     pool::map(jobs, arms.len(), |i| {
         let arm = &arms[i];
-        (arm.name.clone(), run_arm(arm, seed, true).fingerprint)
+        let rendered = run_arm(arm, seed, RunMode::Render)
+            .fingerprint
+            .into_rendered()
+            .expect("Render mode always yields a rendered fingerprint");
+        (arm.name.clone(), rendered)
     })
 }
 
@@ -57,16 +62,33 @@ pub fn forensics(seed: u64, jobs: usize) -> Vec<neat::obs::ForensicReport> {
 }
 
 /// The double-run trace audit (`lint --audit`), sharded by arm: each
-/// worker runs its arm twice at `seed` and compares fingerprints.
-/// Outcomes come back in registry order, so the auditor's output is
-/// byte-identical to the serial audit for any `jobs`.
+/// worker runs its arm twice at `seed` and compares streaming fingerprint
+/// hashes — no fingerprint string is allocated unless the hashes diverge,
+/// in which case both runs are re-rendered for the line diff. Outcomes
+/// come back in registry order, so the auditor's output is byte-identical
+/// to the serial audit for any `jobs`.
 pub fn audit(seed: u64, jobs: usize) -> Vec<AuditOutcome> {
     let arms = arm_ids();
     pool::map(jobs, arms.len(), |i| {
         let arm = &arms[i];
         AuditOutcome {
             name: arm.name.clone(),
-            result: audit_double_run(&arm.name, seed, |s| run_arm(arm, s, true).fingerprint),
+            result: audit_double_run(
+                &arm.name,
+                seed,
+                |s| {
+                    run_arm(arm, s, RunMode::Hash)
+                        .fingerprint
+                        .hash()
+                        .expect("Hash mode always yields a fingerprint hash")
+                },
+                |s| {
+                    run_arm(arm, s, RunMode::Render)
+                        .fingerprint
+                        .into_rendered()
+                        .expect("Render mode always yields a rendered fingerprint")
+                },
+            ),
         }
     })
 }

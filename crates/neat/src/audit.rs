@@ -8,8 +8,14 @@
 //! audited by running it twice with the identical seed and hashing
 //! everything observable about each run — the `simnet` trace log, the
 //! operation history, checker verdicts, final state, and (since the
-//! forensics layer landed) the full `obs` event timeline. Any hash
-//! mismatch is a determinism bug, reported with the first diverging line.
+//! forensics layer landed) the full `obs` event timeline.
+//!
+//! The fast path never materializes a fingerprint: [`FingerHasher`] folds
+//! the `{:#?}` byte stream into FNV-1a as `Debug` emits it, so the two
+//! runs of an arm cost two hashes, not two multi-megabyte `String`s. Only
+//! when the hashes disagree does the auditor re-render both runs in full
+//! and line-diff them via [`compare_runs`] to recover the first diverging
+//! line — the actual debugging handle.
 
 #![deny(missing_docs)]
 
@@ -17,17 +23,110 @@
 /// cryptographic — collisions between *intentionally different* traces are
 /// astronomically unlikely, which is all an auditor needs.
 pub fn fnv1a_64(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+    let mut h = FingerHasher::new();
+    h.write_bytes(bytes);
+    h.finish()
 }
 
 /// Hash of a rendered execution fingerprint (trace log, history, …).
 pub fn trace_hash(fingerprint: &str) -> u64 {
     fnv1a_64(fingerprint.as_bytes())
+}
+
+/// An incremental FNV-1a 64 hasher that doubles as a [`std::fmt::Write`]
+/// sink, so `write!(hasher, "{:#?}", value)` hashes **exactly the byte
+/// stream** that `format!("{:#?}", value)` would have collected into a
+/// `String` — without ever allocating it. The formatting machinery routes
+/// every fragment through `write_str`, and FNV-1a folds bytes one at a
+/// time, so fragment boundaries cannot change the result:
+/// `stream_hash(&v) == trace_hash(&format!("{v:#?}"))` byte-for-byte.
+#[derive(Clone, Copy, Debug)]
+pub struct FingerHasher {
+    h: u64,
+}
+
+impl FingerHasher {
+    /// A fresh hasher at the FNV-1a offset basis (equals `fnv1a_64(b"")`).
+    pub fn new() -> Self {
+        FingerHasher {
+            h: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+
+    /// Folds raw bytes into the running hash.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        let mut h = self.h;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.h = h;
+    }
+
+    /// The hash of everything written so far.
+    pub fn finish(&self) -> u64 {
+        self.h
+    }
+}
+
+impl Default for FingerHasher {
+    fn default() -> Self {
+        FingerHasher::new()
+    }
+}
+
+impl std::fmt::Write for FingerHasher {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        self.write_bytes(s.as_bytes());
+        Ok(())
+    }
+}
+
+/// Hashes `value`'s pretty `Debug` rendering without allocating it:
+/// exactly `trace_hash(&format!("{value:#?}"))`, minus the `String`.
+pub fn stream_hash<T: std::fmt::Debug + ?Sized>(value: &T) -> u64 {
+    use std::fmt::Write as _;
+    let mut h = FingerHasher::new();
+    // Infallible: FingerHasher::write_str never errors.
+    let _ = write!(h, "{value:#?}");
+    h.finish()
+}
+
+/// Compares two same-seed fingerprints; `None` means bit-identical.
+pub fn compare_runs(scenario: &str, seed: u64, a: &str, b: &str) -> Option<Divergence> {
+    if a == b {
+        return None;
+    }
+    let first_diff = a
+        .lines()
+        .zip(b.lines())
+        .enumerate()
+        .find(|(_, (la, lb))| la != lb)
+        .map(|(i, (la, lb))| format!("line {}: `{la}` vs `{lb}`", i + 1))
+        .unwrap_or_else(|| {
+            // Every shared line matched, so one fingerprint is a strict
+            // prefix of the other (or they differ only in a trailing
+            // newline). The first *extra* line is the debugging handle.
+            let (la, lb) = (a.lines().count(), b.lines().count());
+            let extra = if la > lb {
+                a.lines().nth(lb).map(|l| (lb + 1, l))
+            } else {
+                b.lines().nth(la).map(|l| (la + 1, l))
+            };
+            match extra {
+                Some((n, line)) => format!(
+                    "run lengths differ: {la} vs {lb} lines; first extra line ({n}): `{line}`"
+                ),
+                None => format!("run lengths differ: {la} vs {lb} lines"),
+            }
+        });
+    Some(Divergence {
+        scenario: scenario.to_string(),
+        seed,
+        hash_a: trace_hash(a),
+        hash_b: trace_hash(b),
+        first_diff,
+    })
 }
 
 /// One divergence between two same-seed runs of a scenario.
@@ -54,33 +153,6 @@ impl std::fmt::Display for Divergence {
             self.scenario, self.seed, self.hash_a, self.hash_b, self.first_diff
         )
     }
-}
-
-/// Compares two same-seed fingerprints; `None` means bit-identical.
-pub fn compare_runs(scenario: &str, seed: u64, a: &str, b: &str) -> Option<Divergence> {
-    if a == b {
-        return None;
-    }
-    let first_diff = a
-        .lines()
-        .zip(b.lines())
-        .enumerate()
-        .find(|(_, (la, lb))| la != lb)
-        .map(|(i, (la, lb))| format!("line {}: `{la}` vs `{lb}`", i + 1))
-        .unwrap_or_else(|| {
-            format!(
-                "run lengths differ: {} vs {} lines",
-                a.lines().count(),
-                b.lines().count()
-            )
-        });
-    Some(Divergence {
-        scenario: scenario.to_string(),
-        seed,
-        hash_a: trace_hash(a),
-        hash_b: trace_hash(b),
-        first_diff,
-    })
 }
 
 /// One arm's audited result — the reduce unit the fleet merges when the
@@ -110,26 +182,61 @@ impl AuditOutcome {
     }
 }
 
-/// Audits a scenario closure by running it twice with the same seed.
+/// Audits a scenario by running it twice with the same seed.
 ///
-/// `run` must be a pure function of the seed (that is the property under
-/// test); it returns the rendered execution fingerprint.
-pub fn audit_double_run<F: FnMut(u64) -> String>(
+/// `hash_run` must stream-hash one execution's fingerprint (a pure
+/// function of the seed — that is the property under test); the fast path
+/// compares the two hashes and allocates nothing. Only on mismatch does
+/// the auditor call `render_run` to materialize both fingerprints and
+/// recover the first diverging line. If the divergence then fails to
+/// reproduce under re-rendering (flaky nondeterminism), the original
+/// hashes are still reported so the failure is never swallowed.
+pub fn audit_double_run<H, R>(
     scenario: &str,
     seed: u64,
-    mut run: F,
-) -> Result<u64, Divergence> {
-    let a = run(seed);
-    let b = run(seed);
+    mut hash_run: H,
+    mut render_run: R,
+) -> Result<u64, Divergence>
+where
+    H: FnMut(u64) -> u64,
+    R: FnMut(u64) -> String,
+{
+    let hash_a = hash_run(seed);
+    let hash_b = hash_run(seed);
+    if hash_a == hash_b {
+        return Ok(hash_a);
+    }
+    let a = render_run(seed);
+    let b = render_run(seed);
     match compare_runs(scenario, seed, &a, &b) {
-        None => Ok(trace_hash(&a)),
         Some(d) => Err(d),
+        // The hashed pair diverged but the re-rendered pair agreed: the
+        // nondeterminism is flaky. Report the original hashes anyway.
+        None => Err(Divergence {
+            scenario: scenario.to_string(),
+            seed,
+            hash_a,
+            hash_b,
+            first_diff: "divergence did not reproduce on re-render (flaky nondeterminism)"
+                .to_string(),
+        }),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Audits a string-producing closure the way pre-streaming callers
+    /// did: hash by rendering, re-render on mismatch.
+    fn audit_rendered<F: FnMut(u64) -> String + Clone>(
+        scenario: &str,
+        seed: u64,
+        run: F,
+    ) -> Result<u64, Divergence> {
+        let mut hash = run.clone();
+        audit_double_run(scenario, seed, move |s| trace_hash(&hash(s)), run)
+    }
 
     #[test]
     fn fnv_matches_reference_vectors() {
@@ -140,19 +247,68 @@ mod tests {
     }
 
     #[test]
+    fn streaming_hash_equals_rendered_hash() {
+        #[derive(Debug)]
+        #[allow(dead_code)] // only Debug-rendered, never field-read
+        struct Nested {
+            label: String,
+            counts: Vec<u64>,
+            pair: (bool, Option<i32>),
+        }
+        let v = Nested {
+            label: "escaped \"quotes\"\nand newlines\tand unicode: héllo".to_string(),
+            counts: vec![0, 1, u64::MAX],
+            pair: (true, Some(-7)),
+        };
+        assert_eq!(stream_hash(&v), trace_hash(&format!("{v:#?}")));
+    }
+
+    #[test]
+    fn hasher_is_fragment_boundary_invariant() {
+        use std::fmt::Write as _;
+        let mut whole = FingerHasher::new();
+        whole.write_str("abcdef").expect("infallible");
+        let mut split = FingerHasher::new();
+        split.write_str("ab").expect("infallible");
+        split.write_str("").expect("infallible");
+        split.write_str("cdef").expect("infallible");
+        assert_eq!(whole.finish(), split.finish());
+        assert_eq!(whole.finish(), fnv1a_64(b"abcdef"));
+    }
+
+    #[test]
     fn identical_runs_pass() {
-        let hash = audit_double_run("s", 7, |seed| format!("trace for {seed}"))
+        let hash = audit_rendered("s", 7, |seed| format!("trace for {seed}"))
             .expect("identical runs must pass");
         assert_eq!(hash, trace_hash("trace for 7"));
     }
 
     #[test]
+    fn fast_path_never_renders() {
+        let result = audit_double_run(
+            "s",
+            7,
+            |seed| trace_hash(&format!("trace for {seed}")),
+            |_| unreachable!("equal hashes must not trigger a re-render"),
+        );
+        assert_eq!(result, Ok(trace_hash("trace for 7")));
+    }
+
+    #[test]
     fn diverging_runs_report_first_line() {
-        let mut flip = false;
-        let err = audit_double_run("s", 7, |_| {
-            flip = !flip;
-            format!("line one\nline two {flip}")
-        })
+        let mut flips = (false, false);
+        let err = audit_double_run(
+            "s",
+            7,
+            |_| {
+                flips.0 = !flips.0;
+                trace_hash(&format!("line one\nline two {}", flips.0))
+            },
+            |_| {
+                flips.1 = !flips.1;
+                format!("line one\nline two {}", flips.1)
+            },
+        )
         .expect_err("diverging runs must fail");
         assert_eq!(err.seed, 7);
         assert!(err.first_diff.contains("line 2"), "{}", err.first_diff);
@@ -160,9 +316,48 @@ mod tests {
     }
 
     #[test]
+    fn unreproducible_divergence_is_still_reported() {
+        let mut flip = false;
+        let err = audit_double_run(
+            "s",
+            3,
+            |_| {
+                flip = !flip;
+                trace_hash(&format!("run {flip}"))
+            },
+            |_| "stable".to_string(),
+        )
+        .expect_err("hash divergence must fail even if re-render agrees");
+        assert!(
+            err.first_diff.contains("did not reproduce"),
+            "{}",
+            err.first_diff
+        );
+        assert_ne!(err.hash_a, err.hash_b);
+    }
+
+    #[test]
     fn length_only_divergence_is_reported() {
         let d = compare_runs("s", 1, "a\nb", "a\nb\nc").expect("diverges");
         assert!(d.first_diff.contains("lengths differ"), "{}", d.first_diff);
+    }
+
+    #[test]
+    fn strict_prefix_divergence_reports_the_first_extra_line() {
+        let d = compare_runs("s", 1, "a\nb", "a\nb\nextra line").expect("diverges");
+        assert!(d.first_diff.contains("lengths differ"), "{}", d.first_diff);
+        assert!(
+            d.first_diff.contains("first extra line (3): `extra line`"),
+            "{}",
+            d.first_diff
+        );
+        // Symmetric: the longer run may be the first one.
+        let d = compare_runs("s", 1, "a\nb\nc\nd", "a").expect("diverges");
+        assert!(
+            d.first_diff.contains("first extra line (2): `b`"),
+            "{}",
+            d.first_diff
+        );
     }
 
     #[test]

@@ -65,26 +65,27 @@ impl<A: Application> Neat<A> {
     /// Appends a record to the history (called by system client wrappers)
     /// and mirrors it into the observability stream.
     pub fn record(&mut self, rec: OpRecord) {
-        self.obs.op(
-            rec.start,
-            rec.end,
-            rec.client,
-            rec.op.key().to_string(),
-            format!("{:?}", rec.op),
-            format!("{:?}", rec.outcome),
-        );
+        // Deferred details: when per-event recording is off (the campaign's
+        // verdict-only sweeps) the closure never runs, so no key/desc/outcome
+        // strings are formatted on the hot path.
+        self.obs.op_with(rec.start, rec.end, rec.client, || {
+            (
+                rec.op.key().to_string(),
+                format!("{:?}", rec.op),
+                format!("{:?}", rec.outcome),
+            )
+        });
         self.history.push(rec);
     }
 
     /// Installs a partition described by `spec` and returns a handle for
     /// healing it.
     pub fn partition(&mut self, spec: PartitionSpec) -> Partition {
-        let (class, a, b) = match &spec {
-            PartitionSpec::Complete { a, b } => (obs::PartitionClass::Complete, a.clone(), b.clone()),
-            PartitionSpec::Partial { a, b } => (obs::PartitionClass::Partial, a.clone(), b.clone()),
-            PartitionSpec::Simplex { src, dst } => {
-                (obs::PartitionClass::Simplex, src.clone(), dst.clone())
-            }
+        // Borrow the groups; the recorder clones them only when recording.
+        let (class, a, b): (obs::PartitionClass, &[NodeId], &[NodeId]) = match &spec {
+            PartitionSpec::Complete { a, b } => (obs::PartitionClass::Complete, a, b),
+            PartitionSpec::Partial { a, b } => (obs::PartitionClass::Partial, a, b),
+            PartitionSpec::Simplex { src, dst } => (obs::PartitionClass::Simplex, src, dst),
         };
         let pairs = spec.pairs().len();
         let rule = self.world.block_pairs(spec.pairs());
@@ -145,22 +146,24 @@ impl<A: Application> Neat<A> {
     /// for healing it. The sibling of [`Neat::partition`] for degraded —
     /// rather than severed — links.
     pub fn degrade(&mut self, spec: DegradeSpec) -> Degrade {
-        let (class, a, b) = match &spec {
+        // Borrow the groups; the recorder clones them only when recording.
+        let flapping = spec.kind() == DegradeKind::Flapping;
+        let (class, a, b): (obs::DegradeClass, &[NodeId], &[NodeId]) = match &spec {
             DegradeSpec::Partial { a, b, .. } => {
-                let class = if spec.kind() == DegradeKind::Flapping {
+                let class = if flapping {
                     obs::DegradeClass::Flapping
                 } else {
                     obs::DegradeClass::GrayPartial
                 };
-                (class, a.clone(), b.clone())
+                (class, a, b)
             }
             DegradeSpec::Simplex { src, dst, .. } => {
-                let class = if spec.kind() == DegradeKind::Flapping {
+                let class = if flapping {
                     obs::DegradeClass::Flapping
                 } else {
                     obs::DegradeClass::GraySimplex
                 };
-                (class, src.clone(), dst.clone())
+                (class, src, dst)
             }
         };
         let pairs = spec.pairs().len();
@@ -235,7 +238,8 @@ impl<A: Application> Neat<A> {
     pub fn observe(&mut self, violations: &[Violation]) -> obs::Timeline {
         let now = self.world.now();
         for v in violations {
-            self.obs.verdict(now, v.kind.to_string(), v.details.clone());
+            // Deferred: kind/details strings only materialize when recording.
+            self.obs.verdict_with(now, || (v.kind.to_string(), v.details.clone()));
         }
         self.timeline()
     }

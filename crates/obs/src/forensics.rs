@@ -141,7 +141,7 @@ mod tests {
 
     fn report() -> ForensicReport {
         let mut r = Recorder::new(true);
-        r.partition_installed(600, 0, PartitionClass::Partial, vec![NodeId(0)], vec![NodeId(1)], 2);
+        r.partition_installed(600, 0, PartitionClass::Partial, &[NodeId(0)], &[NodeId(1)], 2);
         r.op(700, 705, NodeId(1), "obj1".into(), "Write { .. }".into(), "Ok(None)".into());
         r.partition_healed(1450, 0);
         r.verdict(2100, "data loss".into(), "acked write obj1=1 missing".into());

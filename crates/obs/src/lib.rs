@@ -30,7 +30,7 @@
 //!
 //! let mut rec = Recorder::new(true);
 //! rec.partition_installed(600, 0, PartitionClass::Partial,
-//!                         vec![NodeId(0)], vec![NodeId(1)], 2);
+//!                         &[NodeId(0)], &[NodeId(1)], 2);
 //! rec.op(700, 705, NodeId(1), "k".into(), "Write".into(), "Ok(None)".into());
 //! rec.partition_healed(1450, 0);
 //! rec.verdict(2000, "data loss".into(), "acked write to k missing".into());

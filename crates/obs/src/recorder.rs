@@ -23,7 +23,9 @@ impl Recorder {
     pub fn new(enabled: bool) -> Self {
         Recorder {
             enabled,
-            events: Vec::new(),
+            // Pre-size the recording path; the disabled path never pushes
+            // and so never pays for a buffer.
+            events: Vec::with_capacity(if enabled { 256 } else { 0 }),
             counters: Counters::default(),
         }
     }
@@ -49,18 +51,28 @@ impl Recorder {
         }
     }
 
-    /// Records a partition install.
+    /// Records a partition install. Takes the groups by slice: the clone
+    /// into the event only happens when recording is on.
     pub fn partition_installed(
         &mut self,
         at: Time,
         rule: u64,
         kind: PartitionClass,
-        a: Vec<NodeId>,
-        b: Vec<NodeId>,
+        a: &[NodeId],
+        b: &[NodeId],
         pairs: usize,
     ) {
         self.counters.partitions_installed += 1;
-        self.push(Event::PartitionInstalled { at, rule, kind, a, b, pairs });
+        if self.enabled {
+            self.events.push(Event::PartitionInstalled {
+                at,
+                rule,
+                kind,
+                a: a.to_vec(),
+                b: b.to_vec(),
+                pairs,
+            });
+        }
     }
 
     /// Records a partition heal.
@@ -69,18 +81,28 @@ impl Recorder {
         self.push(Event::PartitionHealed { at, rule });
     }
 
-    /// Records a gray-failure (degrade) install.
+    /// Records a gray-failure (degrade) install. Takes the groups by
+    /// slice: the clone into the event only happens when recording is on.
     pub fn degrade_installed(
         &mut self,
         at: Time,
         rule: u64,
         kind: DegradeClass,
-        a: Vec<NodeId>,
-        b: Vec<NodeId>,
+        a: &[NodeId],
+        b: &[NodeId],
         pairs: usize,
     ) {
         self.counters.degrades_installed += 1;
-        self.push(Event::DegradeInstalled { at, rule, kind, a, b, pairs });
+        if self.enabled {
+            self.events.push(Event::DegradeInstalled {
+                at,
+                rule,
+                kind,
+                a: a.to_vec(),
+                b: b.to_vec(),
+                pairs,
+            });
+        }
     }
 
     /// Records a gray-failure heal.
@@ -111,14 +133,41 @@ impl Recorder {
         desc: String,
         outcome: String,
     ) {
+        self.op_with(start, end, client, || (key, desc, outcome));
+    }
+
+    /// Records one completed (or timed-out) client operation with its
+    /// `(key, desc, outcome)` strings built lazily: the counter always
+    /// bumps, but `details` only runs — and only then do the strings
+    /// allocate — when per-event recording is on. This keeps the disabled
+    /// path (the campaign's verdict-only sweeps) branch-cheap.
+    pub fn op_with(
+        &mut self,
+        start: Time,
+        end: Time,
+        client: NodeId,
+        details: impl FnOnce() -> (String, String, String),
+    ) {
         self.counters.ops_ordered += 1;
-        self.push(Event::Op { start, end, client, key, desc, outcome });
+        if self.enabled {
+            let (key, desc, outcome) = details();
+            self.events.push(Event::Op { start, end, client, key, desc, outcome });
+        }
     }
 
     /// Records one checker verdict.
     pub fn verdict(&mut self, at: Time, kind: String, details: String) {
+        self.verdict_with(at, || (kind, details));
+    }
+
+    /// Records one checker verdict with its `(kind, details)` strings
+    /// built lazily — the deferred-allocation twin of [`Recorder::op_with`].
+    pub fn verdict_with(&mut self, at: Time, details: impl FnOnce() -> (String, String)) {
         self.counters.verdicts += 1;
-        self.push(Event::Verdict { at, kind, details });
+        if self.enabled {
+            let (kind, details) = details();
+            self.events.push(Event::Verdict { at, kind, details });
+        }
     }
 
     /// Records a free-form note (used when merging application notes).
@@ -169,18 +218,19 @@ mod tests {
     #[test]
     fn counters_live_even_when_disabled() {
         let mut r = Recorder::new(false);
-        r.partition_installed(1, 0, PartitionClass::Complete, vec![NodeId(0)], vec![NodeId(1)], 2);
+        r.partition_installed(1, 0, PartitionClass::Complete, &[NodeId(0)], &[NodeId(1)], 2);
         r.op(2, 3, NodeId(0), "k".into(), "Read".into(), "Timeout".into());
+        r.op_with(4, 5, NodeId(1), || unreachable!("disabled path must not build strings"));
         assert!(r.events().is_empty(), "recording gate ignored");
         assert_eq!(r.counters().partitions_installed, 1);
-        assert_eq!(r.counters().ops_ordered, 1);
+        assert_eq!(r.counters().ops_ordered, 2);
     }
 
     #[test]
     fn snapshot_orders_by_virtual_time() {
         let mut r = Recorder::new(true);
         r.verdict(50, "data loss".into(), "k".into());
-        r.partition_installed(10, 0, PartitionClass::Complete, vec![NodeId(0)], vec![NodeId(1)], 2);
+        r.partition_installed(10, 0, PartitionClass::Complete, &[NodeId(0)], &[NodeId(1)], 2);
         let t = r.snapshot();
         assert_eq!(t.events[0].at(), 10);
         assert_eq!(t.events[1].at(), 50);

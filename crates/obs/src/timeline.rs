@@ -207,7 +207,7 @@ mod tests {
 
     fn sample() -> Timeline {
         let mut r = Recorder::new(true);
-        r.partition_installed(600, 0, PartitionClass::Partial, vec![NodeId(0)], vec![NodeId(1)], 2);
+        r.partition_installed(600, 0, PartitionClass::Partial, &[NodeId(0)], &[NodeId(1)], 2);
         r.op(700, 705, NodeId(1), "obj1".into(), "Write { .. }".into(), "Ok(None)".into());
         r.partition_healed(1450, 0);
         r.op(2000, 2001, NodeId(0), "other".into(), "Read { .. }".into(), "Ok(None)".into());
@@ -224,7 +224,7 @@ mod tests {
     #[test]
     fn unhealed_partitions_stay_open() {
         let mut r = Recorder::new(true);
-        r.partition_installed(5, 3, PartitionClass::Complete, vec![NodeId(0)], vec![NodeId(1)], 2);
+        r.partition_installed(5, 3, PartitionClass::Complete, &[NodeId(0)], &[NodeId(1)], 2);
         assert_eq!(r.snapshot().fault_windows(), vec![(3, 5, None)]);
     }
 
@@ -235,8 +235,8 @@ mod tests {
             100,
             0,
             crate::DegradeClass::GrayPartial,
-            vec![NodeId(0)],
-            vec![NodeId(1)],
+            &[NodeId(0)],
+            &[NodeId(1)],
             2,
         );
         r.op(150, 160, NodeId(2), "k".into(), "Write { .. }".into(), "Timeout".into());
@@ -245,8 +245,8 @@ mod tests {
             950,
             1,
             crate::DegradeClass::Flapping,
-            vec![NodeId(1)],
-            vec![NodeId(2)],
+            &[NodeId(1)],
+            &[NodeId(2)],
             2,
         );
         let t = r.snapshot();

@@ -5,7 +5,10 @@
 //! `criterion_main!`, `Criterion::benchmark_group`, `bench_function`,
 //! `bench_with_input`, `BenchmarkId`, and `Bencher::iter`. Instead of
 //! criterion's statistical machinery it takes `sample_size` timed samples
-//! per benchmark and reports min/median/mean in a plain-text line.
+//! per benchmark and reports min/median/mean in a plain-text line. Each
+//! completed benchmark is also recorded as a [`Measurement`] on the
+//! [`Criterion`] harness, so programmatic consumers (`bench --bin perf`)
+//! can read the numbers back instead of scraping stdout.
 //!
 //! This is the one deliberate exception to the workspace's wall-clock ban
 //! (`crates/lint`'s `wall-clock` rule): measuring real elapsed time is a
@@ -19,14 +22,34 @@ use std::time::Instant; // lint:allow(wall-clock)
 
 pub use std::hint::black_box;
 
+/// One benchmark's timing summary, recorded on the harness for
+/// programmatic readback.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Full benchmark label (`group/function/parameter`).
+    pub label: String,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Median sample.
+    pub median: Duration,
+    /// Mean over all samples.
+    pub mean: Duration,
+    /// Number of timed samples (warm-up excluded).
+    pub samples: usize,
+}
+
 /// Top-level harness state: configuration plus a run log.
 pub struct Criterion {
     sample_size: usize,
+    measurements: Vec<Measurement>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 10 }
+        Criterion {
+            sample_size: 10,
+            measurements: Vec::new(),
+        }
     }
 }
 
@@ -37,11 +60,16 @@ impl Criterion {
         self
     }
 
+    /// Every benchmark completed through this harness so far, in run order.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
             name: name.into(),
             sample_size: self.sample_size,
-            _parent: self,
+            parent: self,
         }
     }
 
@@ -49,7 +77,8 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_benchmark(&format!("{id}"), self.sample_size, f);
+        let m = run_benchmark(&format!("{id}"), self.sample_size, f);
+        self.measurements.extend(m);
     }
 }
 
@@ -57,7 +86,7 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
-    _parent: &'a mut Criterion,
+    parent: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
@@ -70,7 +99,8 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        run_benchmark(&format!("{}/{id}", self.name), self.sample_size, f);
+        let m = run_benchmark(&format!("{}/{id}", self.name), self.sample_size, f);
+        self.parent.measurements.extend(m);
         self
     }
 
@@ -78,9 +108,10 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        run_benchmark(&format!("{}/{id}", self.name), self.sample_size, |b| {
+        let m = run_benchmark(&format!("{}/{id}", self.name), self.sample_size, |b| {
             f(b, input)
         });
+        self.parent.measurements.extend(m);
         self
     }
 
@@ -123,7 +154,11 @@ impl Bencher {
     }
 }
 
-fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    mut f: F,
+) -> Option<Measurement> {
     // Warm-up sample, discarded.
     let mut b = Bencher {
         samples: Vec::with_capacity(sample_size + 1),
@@ -136,7 +171,7 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f:
     if b.samples.is_empty() {
         // lint:allow(println-in-lib) -- audited: the bench harness's whole job is stdout
         println!("bench {label:<48} (no samples: body never called Bencher::iter)");
-        return;
+        return None;
     }
     b.samples.sort_unstable();
     let min = b.samples[0];
@@ -151,6 +186,13 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f:
         mean,
         b.samples.len()
     );
+    Some(Measurement {
+        label: label.to_string(),
+        min,
+        median,
+        mean,
+        samples: b.samples.len(),
+    })
 }
 
 /// Upstream-compatible group definition. Both the `name/config/targets`
@@ -211,5 +253,25 @@ mod tests {
         });
         g.finish();
         assert_eq!(seen, Some(7));
+    }
+
+    #[test]
+    fn measurements_are_recorded_for_readback() {
+        let mut c = Criterion::default().sample_size(2);
+        {
+            let mut g = c.benchmark_group("grp");
+            g.bench_function("one", |b| b.iter(|| 1 + 1));
+            g.bench_with_input(BenchmarkId::new("two", 9), &9u64, |b, &v| {
+                b.iter(|| v * 2);
+            });
+            g.finish();
+        }
+        c.bench_function("top", |b| b.iter(|| 3));
+        let labels: Vec<&str> = c.measurements().iter().map(|m| m.label.as_str()).collect();
+        assert_eq!(labels, ["grp/one", "grp/two/9", "top"]);
+        assert!(c.measurements().iter().all(|m| m.samples == 2));
+        // A body that never calls iter records nothing.
+        c.bench_function("empty", |_| {});
+        assert_eq!(c.measurements().len(), 3);
     }
 }

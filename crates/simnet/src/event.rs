@@ -37,7 +37,7 @@ pub(crate) enum EventKind<M> {
     },
 }
 
-/// An entry in the event heap, totally ordered by `(time, seq)`.
+/// A scheduled event handed back by [`EventQueue::pop`].
 #[derive(Debug)]
 pub(crate) struct Event<M> {
     pub time: Time,
@@ -45,18 +45,29 @@ pub(crate) struct Event<M> {
     pub kind: EventKind<M>,
 }
 
-impl<M> PartialEq for Event<M> {
+/// The heap entry: ordering key plus the slab slot holding the payload.
+/// Only `(time, seq)` participate in the order — sifting moves three words
+/// instead of a full `Event<M>`, which for fat message enums is the bulk
+/// of the heap traffic.
+#[derive(Clone, Copy, Debug)]
+struct HeapKey {
+    time: Time,
+    seq: u64,
+    slot: u32,
+}
+
+impl PartialEq for HeapKey {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
-impl<M> Eq for Event<M> {}
-impl<M> PartialOrd for Event<M> {
+impl Eq for HeapKey {}
+impl PartialOrd for HeapKey {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<M> Ord for Event<M> {
+impl Ord for HeapKey {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.time, self.seq).cmp(&(other.time, other.seq))
     }
@@ -67,9 +78,17 @@ impl<M> Ord for Event<M> {
 /// The sequence number makes the order total and therefore the simulation
 /// deterministic: two events scheduled for the same instant fire in the order
 /// they were scheduled.
+///
+/// Internally the queue is split in two: a [`BinaryHeap`] of small
+/// [`HeapKey`]s that carries only the ordering key, and a slab of payloads
+/// (`slots`) addressed by the key's `slot` index. Freed slots are recycled
+/// through a free list, so steady-state simulation allocates nothing per
+/// event once the high-water mark is reached.
 #[derive(Debug)]
 pub(crate) struct EventQueue<M> {
-    heap: BinaryHeap<Reverse<Event<M>>>,
+    heap: BinaryHeap<Reverse<HeapKey>>,
+    slots: Vec<Option<EventKind<M>>>,
+    free: Vec<u32>,
     next_seq: u64,
 }
 
@@ -77,6 +96,8 @@ impl<M> EventQueue<M> {
     pub fn new() -> Self {
         Self {
             heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             next_seq: 0,
         }
     }
@@ -85,18 +106,40 @@ impl<M> EventQueue<M> {
     pub fn push(&mut self, time: Time, kind: EventKind<M>) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(Event { time, seq, kind }));
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Some(kind);
+                slot
+            }
+            None => {
+                let slot = self.slots.len() as u32;
+                self.slots.push(Some(kind));
+                slot
+            }
+        };
+        self.heap.push(Reverse(HeapKey { time, seq, slot }));
         seq
     }
 
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<Event<M>> {
-        self.heap.pop().map(|Reverse(e)| e)
+        let Reverse(key) = self.heap.pop()?;
+        let kind = self.slots[key.slot as usize]
+            .take()
+            // Invariant: a slot stays occupied from push to the pop of its
+            // key — the free list only holds vacated slots.
+            .expect("heap key addressed an empty slot"); // lint:allow(unwrap-expect)
+        self.free.push(key.slot);
+        Some(Event {
+            time: key.time,
+            seq: key.seq,
+            kind,
+        })
     }
 
     /// Returns the time of the earliest pending event without removing it.
     pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|Reverse(e)| e.time)
+        self.heap.peek().map(|Reverse(k)| k.time)
     }
 
     /// Number of pending events.
@@ -105,9 +148,14 @@ impl<M> EventQueue<M> {
     }
 
     /// `true` when no events are pending.
-    #[allow(dead_code)]
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Total events ever scheduled on this queue — the deterministic
+    /// volume proxy the perf gate pins (equals the next sequence number).
+    pub fn scheduled(&self) -> u64 {
+        self.next_seq
     }
 }
 
@@ -168,5 +216,60 @@ mod tests {
         assert_eq!(q.len(), 2);
         q.pop();
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn slots_are_recycled_through_the_free_list() {
+        let mut q = EventQueue::new();
+        // Interleave pushes and pops: the slab must never grow past the
+        // high-water mark of concurrently pending events.
+        for round in 0..50u64 {
+            q.push(round, deliver(0));
+            q.push(round, deliver(1));
+            q.pop().expect("pending");
+        }
+        assert!(
+            q.slots.len() <= 51,
+            "slab grew past the pending high-water mark: {} slots",
+            q.slots.len()
+        );
+        while q.pop().is_some() {}
+        assert!(q.is_empty());
+        assert_eq!(q.free.len(), q.slots.len());
+    }
+
+    #[test]
+    fn payloads_survive_the_slab_round_trip() {
+        let mut q = EventQueue::new();
+        q.push(
+            9,
+            EventKind::Deliver {
+                from: NodeId(4),
+                to: NodeId(5),
+                msg: 1234u32,
+            },
+        );
+        q.push(
+            3,
+            EventKind::Timer {
+                node: NodeId(6),
+                id: TimerId(77),
+                tag: 8,
+                epoch: 2,
+            },
+        );
+        match q.pop().expect("timer first").kind {
+            EventKind::Timer { node, id, tag, epoch } => {
+                assert_eq!((node, id, tag, epoch), (NodeId(6), TimerId(77), 8, 2));
+            }
+            other => panic!("expected timer, got {other:?}"),
+        }
+        match q.pop().expect("deliver second").kind {
+            EventKind::Deliver { from, to, msg } => {
+                assert_eq!((from, to, msg), (NodeId(4), NodeId(5), 1234));
+            }
+            other => panic!("expected deliver, got {other:?}"),
+        }
+        assert_eq!(q.scheduled(), 2);
     }
 }

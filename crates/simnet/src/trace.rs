@@ -335,7 +335,10 @@ impl Trace {
         Self {
             counters: Counters::default(),
             recording,
-            events: Vec::new(),
+            // Recorded runs log hundreds-to-thousands of events; start at a
+            // useful capacity so the hot loop doesn't regrow from 0. The
+            // non-recording path never pushes, so it gets no buffer at all.
+            events: Vec::with_capacity(if recording { 1024 } else { 0 }),
         }
     }
 

@@ -482,6 +482,10 @@ impl<A: Application> World<A> {
             return false;
         };
         debug_assert!(ev.time >= self.now, "event queue went backwards");
+        debug_assert!(
+            ev.seq < self.queue.scheduled(),
+            "popped a sequence number that was never issued"
+        );
         self.now = ev.time;
         match ev.kind {
             EventKind::Deliver { from, to, msg: (msg, src_epoch) } => {
@@ -576,7 +580,8 @@ impl<A: Application> World<A> {
     /// [`World::run_for`] for those). Returns the number of events processed.
     pub fn run_until_idle(&mut self) -> u64 {
         let mut n = 0;
-        while n < 1_000_000 && self.step() {
+        while n < 1_000_000 && !self.queue.is_empty() {
+            self.step();
             n += 1;
         }
         n
@@ -585,6 +590,13 @@ impl<A: Application> World<A> {
     /// Number of pending events, for tests and benches.
     pub fn pending_events(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Total events ever scheduled on this world (deliveries including
+    /// later drops and duplicates, plus timers) — a deterministic volume
+    /// proxy for perf gating.
+    pub fn events_scheduled(&self) -> u64 {
+        self.queue.scheduled()
     }
 }
 

@@ -45,12 +45,72 @@ fn kinds(vs: &[Violation]) -> Vec<ViolationKind> {
     ks
 }
 
-/// What one run of one scenario arm produced: the checker verdicts plus a
-/// rendered execution fingerprint covering every observable of the run
-/// (trace summary, operation history, final state, violations).
+/// How much fingerprint work one arm execution performs. The fingerprint
+/// covers every observable of the run (trace summary, operation history,
+/// final state, violations) via its pretty `Debug` rendering; most callers
+/// never need the rendered bytes, so the mode picks the cheapest form.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunMode {
+    /// Checker verdicts only: trace recording off, no fingerprint.
+    Quick,
+    /// Trace recording on (timeline populated), no fingerprint — the
+    /// forensics and gray-bench path.
+    Trace,
+    /// Trace recording on; the fingerprint is folded into an FNV-1a hash
+    /// as `Debug` emits it — the audit fast path, which never materializes
+    /// the fingerprint string.
+    Hash,
+    /// Trace recording on; the fingerprint is fully rendered — the
+    /// divergence-diff and byte-equivalence path.
+    Render,
+}
+
+impl RunMode {
+    /// Whether this mode records per-event traces. Everything except
+    /// [`RunMode::Quick`] records: the fingerprint must cover the trace.
+    pub fn records(self) -> bool {
+        !matches!(self, RunMode::Quick)
+    }
+}
+
+/// One arm execution's fingerprint, in whichever form [`RunMode`] asked
+/// for. The hash and the rendered string cover the identical byte stream
+/// (`neat::audit::stream_hash` ≡ `trace_hash` of the rendering).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Fingerprint {
+    /// No fingerprint was requested ([`RunMode::Quick`] / [`RunMode::Trace`]).
+    None,
+    /// Streaming FNV-1a hash of the fingerprint bytes ([`RunMode::Hash`]).
+    Hash(u64),
+    /// The fully rendered fingerprint ([`RunMode::Render`]).
+    Rendered(String),
+}
+
+impl Fingerprint {
+    /// The FNV-1a hash of the fingerprint byte stream, if one was taken
+    /// (hashing a rendered fingerprint on demand).
+    pub fn hash(&self) -> Option<u64> {
+        match self {
+            Fingerprint::None => None,
+            Fingerprint::Hash(h) => Some(*h),
+            Fingerprint::Rendered(s) => Some(neat::audit::trace_hash(s)),
+        }
+    }
+
+    /// The rendered fingerprint, if the run was asked to materialize it.
+    pub fn into_rendered(self) -> Option<String> {
+        match self {
+            Fingerprint::Rendered(s) => Some(s),
+            Fingerprint::None | Fingerprint::Hash(_) => None,
+        }
+    }
+}
+
+/// What one run of one scenario arm produced: the checker verdicts plus
+/// the execution fingerprint in the form the [`RunMode`] requested.
 pub struct RunArtifacts {
     pub violations: Vec<Violation>,
-    pub fingerprint: String,
+    pub fingerprint: Fingerprint,
     /// Typed observability timeline of the run (empty when not recording).
     pub timeline: neat::obs::Timeline,
 }
@@ -85,17 +145,21 @@ impl ScenarioRun for (Vec<Violation>, String, neat::obs::Timeline) {
     }
 }
 
-/// A boxed scenario arm: seed and record-trace flag in, artifacts out.
-pub type Runner = Box<dyn Fn(u64, bool) -> RunArtifacts>;
+/// A boxed scenario arm: seed and run mode in, artifacts out.
+pub type Runner = Box<dyn Fn(u64, RunMode) -> RunArtifacts>;
 
 fn runner<O, F>(f: F) -> Runner
 where
     O: ScenarioRun,
     F: Fn(u64, bool) -> O + 'static,
 {
-    Box::new(move |seed, record| {
-        let o = f(seed, record);
-        let fingerprint = format!("{o:#?}");
+    Box::new(move |seed, mode| {
+        let o = f(seed, mode.records());
+        let fingerprint = match mode {
+            RunMode::Quick | RunMode::Trace => Fingerprint::None,
+            RunMode::Hash => Fingerprint::Hash(neat::audit::stream_hash(&o)),
+            RunMode::Render => Fingerprint::Rendered(format!("{o:#?}")),
+        };
         let (violations, timeline) = o.into_parts();
         RunArtifacts {
             violations,
@@ -634,11 +698,11 @@ fn result_of(s: &ScenarioSpec, seed: u64) -> ScenarioResult {
         system: s.system,
         reference: s.reference,
         partition: s.partition,
-        flawed: kinds(&(s.flawed)(seed, false).violations),
+        flawed: kinds(&(s.flawed)(seed, RunMode::Quick).violations),
         fixed: s
             .fixed
             .as_ref()
-            .map(|f| kinds(&f(seed, false).violations))
+            .map(|f| kinds(&f(seed, RunMode::Quick).violations))
             .unwrap_or_default(),
     }
 }
@@ -701,16 +765,16 @@ pub fn arm_ids() -> Vec<ArmId> {
 
 /// Runs one arm by address. Panics if the arm does not exist (callers
 /// enumerate via [`arm_ids`], which only yields real arms).
-pub fn run_arm(arm: &ArmId, seed: u64, record: bool) -> RunArtifacts {
+pub fn run_arm(arm: &ArmId, seed: u64, mode: RunMode) -> RunArtifacts {
     let specs = registry();
     let spec = &specs[arm.scenario];
     if arm.fixed {
         match &spec.fixed {
-            Some(f) => f(seed, record),
+            Some(f) => f(seed, mode),
             None => panic!("{} has no fixed arm", spec.name),
         }
     } else {
-        (spec.flawed)(seed, record)
+        (spec.flawed)(seed, mode)
     }
 }
 
@@ -722,7 +786,7 @@ pub fn run_arm(arm: &ArmId, seed: u64, record: bool) -> RunArtifacts {
 pub fn forensic_at(index: usize, seed: u64) -> neat::obs::ForensicReport {
     let specs = registry();
     let s = &specs[index];
-    let run = (s.flawed)(seed, true);
+    let run = (s.flawed)(seed, RunMode::Trace);
     neat::obs::ForensicReport {
         scenario: s.name.to_string(),
         system: s.system.to_string(),
@@ -778,15 +842,19 @@ pub fn forensics_jsonl(reports: &[neat::obs::ForensicReport]) -> String {
 /// `(arm-name, fingerprint)` pairs — the auditor's and the seed-stability
 /// tests' view of the campaign.
 pub fn scenario_fingerprints(seed: u64) -> Vec<(String, String)> {
+    let rendered = |run: RunArtifacts| run.fingerprint.into_rendered().unwrap_or_default();
     registry()
         .iter()
         .flat_map(|s| {
             let mut runs = vec![(
                 format!("{}/flawed", s.name),
-                (s.flawed)(seed, true).fingerprint,
+                rendered((s.flawed)(seed, RunMode::Render)),
             )];
             if let Some(fixed) = &s.fixed {
-                runs.push((format!("{}/fixed", s.name), fixed(seed, true).fingerprint));
+                runs.push((
+                    format!("{}/fixed", s.name),
+                    rendered(fixed(seed, RunMode::Render)),
+                ));
             }
             runs
         })

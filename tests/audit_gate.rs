@@ -33,3 +33,24 @@ fn every_scenario_arm_double_runs_identically() {
         .count();
     assert!(gray >= 6, "only {gray} gray scenarios registered");
 }
+
+/// The audit's streamed FNV-1a hash must equal the hash of the fully
+/// rendered fingerprint for every arm — the end-to-end proof that the
+/// zero-allocation fast path hashes exactly the bytes the rendered
+/// fingerprint contains, and therefore that every committed
+/// `audit <arm>: ok <hash>` line survives the streaming rewrite unchanged.
+#[test]
+fn streamed_audit_hashes_equal_rendered_fingerprint_hashes() {
+    let jobs = std::thread::available_parallelism().map_or(1, |n| n.get()).min(8);
+    let outcomes = fleet::campaign::audit(42, jobs);
+    let rendered = fleet::campaign::fingerprints(42, jobs);
+    assert_eq!(outcomes.len(), rendered.len());
+    for (o, (name, fingerprint)) in outcomes.iter().zip(rendered.iter()) {
+        assert_eq!(&o.name, name, "audit and fingerprint sweeps disagree on arm order");
+        assert_eq!(
+            o.result,
+            Ok(neat::audit::trace_hash(fingerprint)),
+            "{name}: streamed audit hash disagrees with the rendered fingerprint bytes"
+        );
+    }
+}

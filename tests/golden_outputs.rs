@@ -164,6 +164,32 @@ fn fleet_bench_artifact_matches_the_registry_shape() {
     );
 }
 
+#[test]
+fn perf_bench_artifact_matches_the_registry_shape() {
+    let json = read("BENCH_perf.json");
+    let expect = |needle: String| {
+        assert!(
+            json.contains(&needle),
+            "BENCH_perf.json lacks `{needle}`; refresh with \
+             `cargo run --release -p bench --bin perf`"
+        );
+    };
+    expect(format!("\"arms\": {}", neat_repro::campaign::arm_ids().len()));
+    for key in [
+        "\"bench\": \"perf\"",
+        "\"label\": \"simnet/ping_pong/100000\"",
+        "\"events_per_sec\": ",
+        "\"campaign_wall_clock_ns\": ",
+        "\"streamed_wall_clock_ns\": ",
+        "\"rendered_wall_clock_ns\": ",
+        "\"counting_allocator\": true",
+        "\"fingerprint_alloc_delta_total\": 0",
+        "\"events_simulated_total\": ",
+    ] {
+        expect(key.to_string());
+    }
+}
+
 /// Guard the guard: golden tests are only trustworthy if the artifacts
 /// they check are the ones the repo actually commits.
 #[test]
@@ -176,6 +202,7 @@ fn all_golden_artifacts_exist() {
         "BENCH_fleet.json",
         "BENCH_forensics.json",
         "BENCH_gray.json",
+        "BENCH_perf.json",
     ] {
         assert!(
             Path::new(&root().join(name)).exists(),

@@ -1,0 +1,83 @@
+//! Tier-1 perf gate: deterministic performance proxies, no wall clock.
+//!
+//! Wall-clock timings cannot be asserted in CI (they depend on the
+//! machine), so this gate pins the two proxies that are pure functions of
+//! the seed: the *allocation count* of a run under the counting global
+//! allocator, and the *event volume* of the campaign. The headline
+//! property of the streaming fingerprint pipeline — the audit fast path
+//! (`RunMode::Hash`) adds **zero** allocations over a plain traced run —
+//! is asserted per arm, across every arm in the registry.
+//!
+//! The counts are recomputed with the exact logic that generated the
+//! committed `BENCH_perf.json` (`bench::perf_bench::deterministic_counts`),
+//! then diffed against the artifact, so a hot-path regression both fails
+//! here and shows up as a stale artifact.
+
+use neat_repro::campaign::{self, RunMode};
+
+// Route this test binary's heap through the counting allocator; the
+// counters are thread-local, so the parallel test harness cannot bleed
+// counts across tests.
+#[global_allocator]
+static ALLOC: alloc_counter::CountingAlloc = alloc_counter::CountingAlloc;
+
+#[test]
+fn the_counting_allocator_is_live() {
+    assert!(
+        alloc_counter::is_counting(),
+        "perf_gate.rs must install CountingAlloc as #[global_allocator]"
+    );
+}
+
+#[test]
+fn stream_hash_allocates_nothing() {
+    // Warm one run so lazy one-time setup cannot be billed to the
+    // measured call, then hash a value with plenty of nested structure.
+    let arm = &campaign::arm_ids()[0];
+    let artifacts = campaign::run_arm(arm, 8, RunMode::Trace);
+    let _ = neat::audit::stream_hash(&artifacts.timeline);
+    let (_, allocs) =
+        alloc_counter::count_allocations(|| neat::audit::stream_hash(&artifacts.timeline));
+    assert_eq!(
+        allocs, 0,
+        "stream_hash must fold Debug output straight into FNV-1a without materializing it"
+    );
+}
+
+#[test]
+fn fingerprint_fast_path_allocates_nothing_across_every_arm() {
+    let d = bench::perf_bench::deterministic_counts(8);
+    assert!(d.counting_allocator, "allocator probe failed");
+    assert!(d.arms >= 70, "registry shrank: only {} arms counted", d.arms);
+    assert_eq!(
+        d.fingerprint_alloc_delta_total, 0,
+        "a Hash-mode run allocated more than the identical Trace-mode run: \
+         the streaming fingerprint fast path regressed"
+    );
+    // The rendered fingerprint is the cost the fast path avoids — if
+    // rendering were free too, this gate would be testing nothing.
+    assert!(
+        d.render_allocs_sample > 0,
+        "Render mode allocated nothing extra; the zero-delta assertion above is vacuous"
+    );
+}
+
+#[test]
+fn event_volume_matches_the_committed_perf_artifact() {
+    let d = bench::perf_bench::deterministic_counts(8);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_perf.json");
+    let json = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read committed artifact {path}: {e}"));
+    for needle in [
+        format!("\"events_simulated_total\": {}", d.events_simulated_total),
+        format!("\"arms\": {}", d.arms),
+        "\"fingerprint_alloc_delta_total\": 0".to_string(),
+        "\"counting_allocator\": true".to_string(),
+    ] {
+        assert!(
+            json.contains(&needle),
+            "BENCH_perf.json lacks `{needle}`; refresh with \
+             `cargo run --release -p bench --bin perf`"
+        );
+    }
+}
