@@ -1,0 +1,36 @@
+//! Regenerates `BENCH_lint.json` at the repo root: the determinism-lint
+//! scan of the whole workspace reduced to deterministic counters, plus
+//! the registry-consistency verdict. A pure function of the committed
+//! source tree, so the tier-1 golden tests regenerate the identical
+//! bytes in-process.
+//!
+//! ```text
+//! cargo run --release -p bench --bin lint_bench            # writes the artifact
+//! cargo run --release -p bench --bin lint_bench -- --print # JSON to stdout only
+//! ```
+
+use std::io::Write;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let json = bench::reports::lint_machine_json();
+    if std::env::args().skip(1).any(|a| a == "--print") {
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        return match out.write_all(json.as_bytes()).and_then(|()| out.flush()) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("lint_bench: failed to write to stdout: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    // The manifest dir is crates/bench; the artifact lives at the root.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_lint.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("lint_bench: cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {path}");
+    ExitCode::SUCCESS
+}

@@ -453,6 +453,56 @@ pub fn gray_machine_json() -> String {
     format!("{}\n", study::json::pretty(&out))
 }
 
+// --- lint scan counters --------------------------------------------------
+
+/// Exact content of `BENCH_lint.json`: the determinism-lint scan of the
+/// whole workspace reduced to deterministic counters — files, lines, and
+/// tokens scanned, `use` declarations resolved, allow sites and how many
+/// of them suppress something, per-rule finding/allow counts, and the
+/// registry-consistency verdict. A pure function of the committed source
+/// tree (no wall-clock numbers), so it is golden-tested byte-for-byte
+/// and regenerating it flags any scan regression as a diff.
+pub fn lint_machine_json() -> String {
+    use std::fmt::Write as _;
+
+    let root = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let report = match lint::analyze_workspace(root) {
+        Ok(r) => r,
+        Err(e) => panic!("lint scan of {} failed: {e}", root.display()),
+    };
+    let registry = lint::check_registry(root);
+    let s = &report.stats;
+    let mut out = format!(
+        "{{\"bench\":\"lint\",\"files\":{},\"lines\":{},\"tokens\":{},\
+         \"use_decls\":{},\"allow_sites\":{},\"allows_used\":{},\
+         \"unused_allows\":{},\"findings_total\":{},\"per_rule\":[",
+        s.files,
+        s.lines,
+        s.tokens,
+        s.use_decls,
+        s.allow_sites,
+        s.allows_used,
+        report.unused_allows.len(),
+        report.findings.len(),
+    );
+    for (i, (rule, findings, allows)) in s.per_rule.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"rule\":");
+        study::json::push_json_str(&mut out, rule.name());
+        let _ = write!(out, ",\"findings\":{findings},\"allows\":{allows}}}");
+    }
+    let _ = write!(
+        out,
+        "],\"registry\":{{\"scenarios\":{},\"arms\":{},\"findings\":{}}}}}",
+        registry.scenarios,
+        registry.arms,
+        registry.findings.len(),
+    );
+    format!("{}\n", study::json::pretty(&out))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

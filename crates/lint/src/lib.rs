@@ -6,12 +6,25 @@
 //! the trace-divergence auditor are meaningless. This crate enforces that
 //! property twice over:
 //!
-//! - **Statically** ([`scan`]): a token-level pass over every `.rs` file
-//!   rejecting the classic nondeterminism sources — hash-order iteration
-//!   in the protocol/simulation crates, wall clocks, OS entropy, OS
-//!   threads, `unsafe`, and panicking `.unwrap()`/`.expect()` in
-//!   non-test simulator code. `// lint:allow(<rule>)` is the escape
-//!   hatch for audited exceptions.
+//! - **Statically** ([`scan`]): every `.rs` file is run through a real
+//!   lexer ([`lex`]), its imports resolved per file ([`resolve`]) so
+//!   `use std::collections::HashMap as Map;` no longer smuggles a hash
+//!   map past the rules, and the token stream checked against eleven
+//!   determinism rules — hash-order iteration in the protocol/simulation
+//!   crates, wall clocks, OS entropy, OS threads, `unsafe`, panicking
+//!   `.unwrap()`/`.expect()` in non-test simulator code, `println!` in
+//!   library code, environment reads, filesystem/network I/O in
+//!   simulator crates, float fields in protocol state, and
+//!   `derive(Debug)` structs that leak hash-ordered maps into
+//!   fingerprints. `// lint:allow(<rule>[, <rule>…])` is the escape
+//!   hatch for audited exceptions; `--unused-allows` reports directives
+//!   that no longer suppress anything. The frozen previous scanner lives
+//!   in [`v1`] with pinning tests for the bugs that motivated the
+//!   rewrite.
+//! - **Registry consistency** ([`registry`]): the scenario/arm IDs in
+//!   `src/campaign.rs` are cross-checked against the committed golden
+//!   artifacts and the arm literals in the workspace tests, so a renamed
+//!   or unregistered scenario fails `lint` instead of silently decaying.
 //! - **Dynamically** (`cargo run -p lint -- --audit`): every scenario in
 //!   [`neat_repro::campaign::registry`] is run twice with the same seed
 //!   and the rendered execution fingerprints are compared byte for byte
@@ -24,6 +37,14 @@
 //! not depend on clippy being present and so the rules run as an
 //! ordinary tier-1 integration test (`tests/lint_gate.rs`).
 
+pub mod lex;
+pub mod registry;
+pub mod resolve;
 pub mod scan;
+pub mod v1;
 
-pub use scan::{findings_to_json, scan_source, scan_workspace, Finding, Rule};
+pub use registry::{check_registry, RegistryFinding, RegistryReport};
+pub use scan::{
+    analyze_source, analyze_workspace, findings_to_json, scan_source, scan_workspace, FileReport,
+    Finding, Rule, ScanStats, UnusedAllow, WorkspaceReport,
+};

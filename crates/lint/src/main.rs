@@ -1,8 +1,10 @@
 //! CLI for the determinism guard.
 //!
 //! ```text
-//! cargo run -p lint                 # static pass over the workspace
+//! cargo run -p lint                 # static pass + registry consistency
 //! cargo run -p lint -- --json      # same, machine-readable findings
+//! cargo run -p lint -- --unused-allows  # report stale lint:allow sites
+//! cargo run -p lint -- --registry  # registry-consistency pass only
 //! cargo run -p lint -- --audit     # dynamic double-run trace audit
 //! cargo run -p lint -- --audit --seed 7
 //! cargo run -p lint -- --audit --jobs 4   # fleet-sharded, same bytes
@@ -18,27 +20,37 @@ use std::process::ExitCode;
 struct Opts {
     json: bool,
     audit: bool,
+    unused_allows: bool,
+    registry: bool,
     root: Option<PathBuf>,
     seed: u64,
     jobs: usize,
 }
 
 fn usage() -> &'static str {
-    "usage: lint [--json] [--root <dir>] [--audit] [--seed <n>] [--jobs <k>]\n\
+    "usage: lint [--json] [--root <dir>] [--unused-allows] [--registry]\n\
+     \x20           [--audit] [--seed <n>] [--jobs <k>]\n\
      \n\
      Default mode scans every .rs file under the workspace for the\n\
      determinism rules (hash-iteration, wall-clock, os-entropy,\n\
-     thread-spawn, unsafe-code, unwrap-expect, println-in-lib).\n\
-     --audit instead runs\n\
-     every registered scenario twice with the same seed and compares\n\
-     the execution fingerprints; --jobs K shards the audit across K\n\
-     fleet workers with byte-identical output."
+     thread-spawn, unsafe-code, unwrap-expect, println-in-lib,\n\
+     env-read, io-in-sim, float-nondet, debug-hash-leak), then\n\
+     cross-checks the scenario/arm registry against the committed\n\
+     golden artifacts when they are present under the root.\n\
+     --unused-allows instead reports lint:allow directives that no\n\
+     longer suppress any finding; --registry runs only the\n\
+     registry-consistency pass. --audit runs every registered\n\
+     scenario twice with the same seed and compares the execution\n\
+     fingerprints; --jobs K shards the audit across K fleet workers\n\
+     with byte-identical output."
 }
 
 fn parse_args() -> Result<Opts, String> {
     let mut opts = Opts {
         json: false,
         audit: false,
+        unused_allows: false,
+        registry: false,
         root: None,
         seed: 42,
         jobs: 1,
@@ -48,6 +60,8 @@ fn parse_args() -> Result<Opts, String> {
         match arg.as_str() {
             "--json" => opts.json = true,
             "--audit" => opts.audit = true,
+            "--unused-allows" => opts.unused_allows = true,
+            "--registry" => opts.registry = true,
             "--root" => {
                 let dir = args.next().ok_or("--root requires a directory")?;
                 opts.root = Some(PathBuf::from(dir));
@@ -84,13 +98,14 @@ fn workspace_root(explicit: Option<PathBuf>) -> PathBuf {
 
 fn run_scan(opts: &Opts) -> ExitCode {
     let root = workspace_root(opts.root.clone());
-    let findings = match lint::scan_workspace(&root) {
-        Ok(f) => f,
+    let report = match lint::analyze_workspace(&root) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("lint: failed to scan {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
+    let findings = report.findings;
     if opts.json {
         println!("{}", lint::findings_to_json(&findings));
     } else if findings.is_empty() {
@@ -101,9 +116,65 @@ fn run_scan(opts: &Opts) -> ExitCode {
         }
         eprintln!("lint: {} violation(s)", findings.len());
     }
-    if findings.is_empty() {
+    let mut failures = findings.len();
+    // The registry pass only applies when the tree carries the golden
+    // artifacts (i.e. the workspace root, not an arbitrary --root dir).
+    if !opts.json && lint::registry::artifacts_present(&root) {
+        failures += run_registry_checks(&root);
+    }
+    if failures == 0 {
         ExitCode::SUCCESS
     } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Prints registry findings; returns how many there were.
+fn run_registry_checks(root: &std::path::Path) -> usize {
+    let report = lint::check_registry(root);
+    for f in &report.findings {
+        println!("{f}");
+    }
+    if report.findings.is_empty() {
+        println!(
+            "lint: registry consistent ({} scenarios, {} arms)",
+            report.scenarios, report.arms
+        );
+    } else {
+        eprintln!("lint: {} registry inconsistency(ies)", report.findings.len());
+    }
+    report.findings.len()
+}
+
+fn run_registry(opts: &Opts) -> ExitCode {
+    let root = workspace_root(opts.root.clone());
+    if run_registry_checks(&root) == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn run_unused_allows(opts: &Opts) -> ExitCode {
+    let root = workspace_root(opts.root.clone());
+    let report = match lint::analyze_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for u in &report.unused_allows {
+        println!("{u}");
+    }
+    if report.unused_allows.is_empty() {
+        println!(
+            "lint: all {} lint:allow site(s) suppress at least one finding",
+            report.stats.allow_sites
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("lint: {} unused allow(s)", report.unused_allows.len());
         ExitCode::FAILURE
     }
 }
@@ -145,6 +216,10 @@ fn main() -> ExitCode {
     };
     if opts.audit {
         run_audit(&opts)
+    } else if opts.registry {
+        run_registry(&opts)
+    } else if opts.unused_allows {
+        run_unused_allows(&opts)
     } else {
         run_scan(&opts)
     }

@@ -1,0 +1,439 @@
+//! The v1 scanner, frozen as a comparison baseline.
+//!
+//! This is the original line-oriented pass: strip comments and literals
+//! with a state machine, then match identifiers in what is left. It is
+//! kept verbatim (findings restricted to the original seven rules) so
+//! tests can demonstrate exactly what the lexer-based pass in
+//! [`crate::scan`] catches that this one provably misses:
+//!
+//! - aliased imports (`use std::collections::HashMap as Map;` — the
+//!   alias use-sites never mention a banned name),
+//! - `debug-hash-leak` and the other v2 rule families (no notion of
+//!   type bodies or attributes),
+//! - code after a `'\\'` char literal (the escape handling below steps
+//!   past the closing tick and swallows the rest of the line),
+//! - raw identifiers (`r#unsafe` fired the unsafe-code rule).
+//!
+//! Do not extend this module; new behaviour belongs in [`crate::scan`].
+
+use crate::scan::{classify, Finding, Rule};
+
+/// One source line after comment/literal stripping.
+struct CleanLine {
+    text: String,
+    /// Any part of the line sits inside a `#[cfg(test)]` brace region.
+    in_test: bool,
+}
+
+struct Cleaned {
+    lines: Vec<CleanLine>,
+    /// `(line, rule)` pairs from `lint:allow(...)` comment directives.
+    allows: Vec<(usize, Rule)>,
+}
+
+fn collect_allows(comment: &str, line: usize, allows: &mut Vec<(usize, Rule)>) {
+    let mut rest = comment;
+    while let Some(pos) = rest.find("lint:allow(") {
+        rest = &rest[pos + "lint:allow(".len()..];
+        let Some(end) = rest.find(')') else { return };
+        for name in rest[..end].split(',') {
+            if let Some(rule) = Rule::from_name(name.trim()) {
+                allows.push((line, rule));
+            }
+        }
+        rest = &rest[end..];
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Strips comments and string/char literals, recording `lint:allow`
+/// directives and which lines sit inside `#[cfg(test)]` regions.
+fn clean(source: &str) -> Cleaned {
+    enum St {
+        Code,
+        LineComment,
+        BlockComment,
+        Str,
+        RawStr,
+    }
+
+    let chars: Vec<char> = source.chars().collect();
+    let mut st = St::Code;
+    let mut block_depth = 0usize;
+    let mut raw_hashes = 0usize;
+
+    let mut lines = Vec::new();
+    let mut allows = Vec::new();
+    let mut cur = String::new();
+    let mut comment_buf = String::new();
+    let mut line_no = 1usize;
+
+    let mut pending_test = false;
+    let mut brace_stack: Vec<bool> = Vec::new();
+    let mut test_depth = 0usize;
+    let mut line_in_test = false;
+
+    let mut prev_code: Option<char> = None;
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            match st {
+                St::LineComment => {
+                    collect_allows(&comment_buf, line_no, &mut allows);
+                    comment_buf.clear();
+                    st = St::Code;
+                }
+                St::BlockComment => {
+                    collect_allows(&comment_buf, line_no, &mut allows);
+                    comment_buf.clear();
+                }
+                _ => {}
+            }
+            lines.push(CleanLine {
+                text: std::mem::take(&mut cur),
+                in_test: line_in_test || test_depth > 0,
+            });
+            line_in_test = test_depth > 0;
+            line_no += 1;
+            i += 1;
+            continue;
+        }
+        match st {
+            St::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    st = St::LineComment;
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    st = St::BlockComment;
+                    block_depth = 1;
+                    i += 2;
+                    continue;
+                }
+                if (c == 'r' || c == 'b') && !prev_code.is_some_and(is_ident_char) {
+                    let mut k = i;
+                    if chars.get(k) == Some(&'b') {
+                        k += 1;
+                    }
+                    if chars.get(k) == Some(&'r') {
+                        k += 1;
+                        let mut hashes = 0usize;
+                        while chars.get(k) == Some(&'#') {
+                            hashes += 1;
+                            k += 1;
+                        }
+                        if chars.get(k) == Some(&'"') {
+                            st = St::RawStr;
+                            raw_hashes = hashes;
+                            prev_code = None;
+                            i = k + 1;
+                            continue;
+                        }
+                    }
+                }
+                if c == '"' {
+                    st = St::Str;
+                    prev_code = None;
+                    i += 1;
+                    continue;
+                }
+                if c == '\'' {
+                    // BUG (kept): for `'\\'` this loop takes the escaped
+                    // backslash, then lands on the *closing* tick's
+                    // backslash-free neighbour and keeps walking to the
+                    // next tick or EOF, swallowing live code.
+                    if chars.get(i + 1) == Some(&'\\') {
+                        let mut j = i + 2;
+                        while j < chars.len() {
+                            if chars[j] == '\\' {
+                                j += 2;
+                            } else if chars[j] == '\'' {
+                                j += 1;
+                                break;
+                            } else {
+                                j += 1;
+                            }
+                        }
+                        i = j;
+                    } else if chars.get(i + 2) == Some(&'\'') {
+                        i += 3;
+                    } else {
+                        i += 1;
+                    }
+                    prev_code = None;
+                    continue;
+                }
+                cur.push(c);
+                prev_code = Some(c);
+                match c {
+                    ']' if cur.ends_with("#[cfg(test)]") => pending_test = true,
+                    ';' => pending_test = false,
+                    '{' => {
+                        brace_stack.push(pending_test);
+                        if pending_test {
+                            test_depth += 1;
+                            line_in_test = true;
+                        }
+                        pending_test = false;
+                    }
+                    '}' => {
+                        if brace_stack.pop() == Some(true) {
+                            test_depth -= 1;
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            St::LineComment => {
+                comment_buf.push(c);
+                i += 1;
+            }
+            St::BlockComment => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    block_depth += 1;
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    block_depth -= 1;
+                    i += 2;
+                    if block_depth == 0 {
+                        collect_allows(&comment_buf, line_no, &mut allows);
+                        comment_buf.clear();
+                        st = St::Code;
+                    }
+                } else {
+                    comment_buf.push(c);
+                    i += 1;
+                }
+            }
+            St::Str => {
+                if c == '\\' {
+                    if chars.get(i + 1) == Some(&'\n') {
+                        i += 1;
+                    } else {
+                        i += 2;
+                    }
+                } else if c == '"' {
+                    st = St::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            St::RawStr => {
+                if c == '"' {
+                    let closed = (1..=raw_hashes).all(|k| chars.get(i + k) == Some(&'#'));
+                    if closed {
+                        st = St::Code;
+                        i += raw_hashes + 1;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+        }
+    }
+    if matches!(st, St::LineComment | St::BlockComment) {
+        collect_allows(&comment_buf, line_no, &mut allows);
+    }
+    if !cur.is_empty() {
+        lines.push(CleanLine {
+            text: cur,
+            in_test: line_in_test || test_depth > 0,
+        });
+    }
+    Cleaned { lines, allows }
+}
+
+/// Identifiers banned everywhere under the workspace.
+fn global_ident_rule(ident: &str) -> Option<(Rule, &'static str)> {
+    match ident {
+        "Instant" | "SystemTime" => Some((
+            Rule::WallClock,
+            "wall-clock time differs between runs; use simnet virtual time",
+        )),
+        "thread_rng" | "OsRng" | "from_entropy" | "getrandom" => Some((
+            Rule::OsEntropy,
+            "OS entropy makes runs unrepeatable; seed a StdRng explicitly",
+        )),
+        "unsafe" => Some((Rule::UnsafeCode, "unsafe code is forbidden workspace-wide")),
+        _ => None,
+    }
+}
+
+/// The v1 scan of one file: the original seven rules, line-matched.
+pub fn scan_source(rel_path: &str, source: &str) -> Vec<Finding> {
+    let class = classify(rel_path);
+    let cleaned = clean(source);
+    let mut findings: Vec<Finding> = Vec::new();
+
+    let allowed = |line: usize, rule: Rule| {
+        if rule == Rule::ThreadSpawn && !class.orchestration && !class.test_like {
+            return false;
+        }
+        if rule == Rule::PrintlnInLib && class.strict && !class.test_like {
+            return false;
+        }
+        cleaned
+            .allows
+            .iter()
+            .any(|&(l, r)| r == rule && (l == line || l + 1 == line))
+    };
+    let mut push = |line: usize, rule: Rule, message: String| {
+        if allowed(line, rule) {
+            return;
+        }
+        if findings.iter().any(|f| f.line == line && f.rule == rule) {
+            return;
+        }
+        findings.push(Finding {
+            path: rel_path.to_string(),
+            line,
+            rule,
+            message,
+        });
+    };
+
+    for (idx, cl) in cleaned.lines.iter().enumerate() {
+        let line = idx + 1;
+        let text = cl.text.as_str();
+
+        if text.contains("thread::spawn")
+            || text.contains("thread::scope")
+            || text.contains("thread::Builder")
+        {
+            push(
+                line,
+                Rule::ThreadSpawn,
+                "OS threads introduce scheduling nondeterminism; the simulator is single-threaded"
+                    .to_string(),
+            );
+        }
+        if text.contains("rand::random") {
+            push(
+                line,
+                Rule::OsEntropy,
+                "`rand::random` draws from OS entropy; seed a StdRng explicitly".to_string(),
+            );
+        }
+
+        let mut chars = text.char_indices().peekable();
+        let mut prev_non_ws: Option<char> = None;
+        while let Some((start, c)) = chars.next() {
+            if !is_ident_char(c) || c.is_ascii_digit() {
+                if !c.is_whitespace() {
+                    prev_non_ws = Some(c);
+                }
+                continue;
+            }
+            let mut end = start + c.len_utf8();
+            while let Some(&(j, cj)) = chars.peek() {
+                if is_ident_char(cj) {
+                    end = j + cj.len_utf8();
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            let ident = &text[start..end];
+            if let Some((rule, msg)) = global_ident_rule(ident) {
+                push(line, rule, format!("`{ident}`: {msg}"));
+            }
+            if class.strict && (ident == "HashMap" || ident == "HashSet") {
+                push(
+                    line,
+                    Rule::HashIteration,
+                    format!(
+                        "`{ident}` iteration order is nondeterministic in simulation code; \
+                         use BTreeMap/BTreeSet or sort before iterating"
+                    ),
+                );
+            }
+            if ident == "spawn" && prev_non_ws == Some('.') {
+                push(
+                    line,
+                    Rule::ThreadSpawn,
+                    "`.spawn()`: scoped/builder spawns are still OS threads; the simulator \
+                     is single-threaded"
+                        .to_string(),
+                );
+            }
+            if !class.bin_like
+                && !class.test_like
+                && !cl.in_test
+                && matches!(ident, "println" | "print" | "eprintln" | "eprint")
+                && text[end..].trim_start().starts_with('!')
+            {
+                push(
+                    line,
+                    Rule::PrintlnInLib,
+                    format!(
+                        "`{ident}!` in library code; emit through the obs layer or return \
+                         strings — stdout belongs to bin targets"
+                    ),
+                );
+            }
+            if class.strict
+                && !class.test_like
+                && !cl.in_test
+                && (ident == "unwrap" || ident == "expect")
+                && prev_non_ws == Some('.')
+            {
+                push(
+                    line,
+                    Rule::UnwrapExpect,
+                    format!(
+                        "`.{ident}()` in non-test simulation code; propagate a Result or \
+                         annotate a genuine invariant with lint:allow(unwrap-expect)"
+                    ),
+                );
+            }
+            prev_non_ws = Some(c);
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::scan_source as v1_scan;
+    use crate::scan::Rule;
+
+    const STRICT_FILE: &str = "crates/simnet/src/fabric.rs";
+
+    /// Pins the v1 bug the lexer fixes: `'\\'` swallows the line.
+    #[test]
+    fn v1_misses_code_after_backslash_char_literal() {
+        let src = "fn f() { let c = '\\\\'; x.unwrap(); }\n";
+        assert!(v1_scan(STRICT_FILE, src).is_empty(), "v1 bug disappeared");
+        assert_eq!(
+            crate::scan_source(STRICT_FILE, src)
+                .iter()
+                .map(|f| f.rule)
+                .collect::<Vec<_>>(),
+            vec![Rule::UnwrapExpect]
+        );
+    }
+
+    /// Pins the v1 bug the lexer fixes: raw identifiers matched keywords.
+    #[test]
+    fn v1_false_positives_on_raw_identifiers() {
+        let src = "fn f() { let r#unsafe = 1; }\n";
+        assert_eq!(
+            v1_scan(STRICT_FILE, src)
+                .iter()
+                .map(|f| f.rule)
+                .collect::<Vec<_>>(),
+            vec![Rule::UnsafeCode],
+            "v1 bug disappeared"
+        );
+        assert!(crate::scan_source(STRICT_FILE, src).is_empty());
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: a hash map smuggled behind an `as` alias. The v1 scanner
+//! matched banned names textually, so once the import line carries an
+//! allow nothing else in this file ever says `HashMap` — the alias
+//! use-sites below are invisible to it.
+use std::collections::HashMap as Map; // lint:allow(hash-iteration)
+
+pub fn build() -> Map<u64, u64> {
+    Map::new()
+}

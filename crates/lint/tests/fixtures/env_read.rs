@@ -1,0 +1,8 @@
+//! Fixture: environment reads in simulator code. The process
+//! environment is an input the seed does not control; v1 had no rule
+//! for it at all.
+use std::env;
+
+pub fn seed_override() -> Option<String> {
+    env::var("NEAT_SEED").ok()
+}

@@ -1,0 +1,8 @@
+//! Fixture: a float field in protocol state. Accumulation order changes
+//! results across refactors; v1 had no rule for it at all.
+
+#[derive(Clone, Copy)]
+pub struct Link {
+    pub capacity: u64,
+    pub loss: f64,
+}

@@ -1,0 +1,12 @@
+//! Fixture: real filesystem I/O in simulator code, once aliased and
+//! once fully qualified. Real I/O breaks deterministic replay; v1 had
+//! no rule for it at all.
+use std::fs::File as Store;
+
+pub fn open_store(path: &str) -> std::io::Result<Store> {
+    Store::open(path)
+}
+
+pub fn read_all(path: &str) -> std::io::Result<Vec<u8>> {
+    std::fs::read(path)
+}

@@ -1,0 +1,12 @@
+//! Fixture: wall-clock reads behind an alias and behind a fully
+//! qualified path. The aliased `Clock::now()` never mentions `Instant`,
+//! so the textual v1 pass misses it once the import line is allowed.
+use std::time::Instant as Clock; // lint:allow(wall-clock)
+
+pub fn stamp() -> Clock {
+    Clock::now()
+}
+
+pub fn qualified() -> usize {
+    std::collections::HashMap::<u8, u8>::new().len()
+}

@@ -1,0 +1,10 @@
+//! Fixture: a root-level test referencing an arm whose scenario is not
+//! in the campaign registry. The registry pass lexes arm-shaped string
+//! literals (`…/flawed`, `…/fixed`) out of `tests/*.rs` and rejects
+//! this one.
+
+#[test]
+fn drives_a_ghost_arm() {
+    let arm = "ghost_scenario/flawed";
+    assert!(!arm.is_empty());
+}

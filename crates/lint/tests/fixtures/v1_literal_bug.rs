@@ -1,0 +1,9 @@
+//! Fixture: the two v1 literal-handling bugs, kept as regression input.
+//! In `take`, v1's escape handling steps past the `'\\'` literal's
+//! closing tick and swallows the rest of the line — including the
+//! `.unwrap()`. In `shadow`, `r#unsafe` is a raw identifier, not the
+//! `unsafe` keyword, but v1 matched the stripped name.
+
+pub fn shadow() -> u32 { let r#unsafe = 1; r#unsafe }
+
+pub fn take(x: Option<u32>) -> u32 { let _sep = '\\'; x.unwrap() }

@@ -80,10 +80,12 @@ pub struct Nemesis {
     /// Partition kinds to draw from (empty = crashes only).
     pub kinds: Vec<PartitionKind>,
     /// Probability that a cycle crashes a node instead of partitioning.
+    // lint:allow(float-nondet) -- probability knob compared against a single RNG draw, never accumulated
     pub crash_probability: f64,
     /// Probability that a cycle degrades a link (gray failure) instead of
     /// cutting it cleanly. Zero keeps schedules byte-identical to
     /// pre-gray nemeses: no extra RNG draws are made.
+    // lint:allow(float-nondet) -- probability knob compared against a single RNG draw, never accumulated
     pub gray_probability: f64,
     /// The degradation applied during gray cycles.
     pub gray_rule: DegradeRule,

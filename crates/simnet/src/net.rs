@@ -50,6 +50,7 @@ pub struct DegradeRuleId(pub u64);
 #[derive(Clone, Copy, PartialEq, Debug, Default)]
 pub struct DegradeRule {
     /// Probability in `[0, 1]` that a message on a covered pair is lost.
+    // lint:allow(float-nondet) -- probability knob compared against a single RNG draw, never accumulated
     pub loss: f64,
     /// Fixed extra one-way latency added to every covered message, in
     /// milliseconds — the congested-link cause of §2.1.
@@ -60,6 +61,7 @@ pub struct DegradeRule {
     /// Probability in `[0, 1]` that a covered message is delivered twice —
     /// the NIC/driver duplication gray failure. The duplicate is scheduled
     /// independently (its own latency draw) and is never re-duplicated.
+    // lint:allow(float-nondet) -- probability knob compared against a single RNG draw, never accumulated
     pub dup_probability: f64,
     /// When non-zero, the rule *flaps*: it only applies while
     /// `(now / flap_period) % 2 == 0`, so the link alternates between
@@ -125,6 +127,7 @@ pub struct LinkConfig {
     /// because every pair degrades equally. For targeted per-link loss,
     /// latency, or duplication install a [`DegradeRule`] instead.
     /// Deterministic given the world seed.
+    // lint:allow(float-nondet) -- probability knob compared against a single RNG draw, never accumulated
     pub drop_probability: f64,
 }
 

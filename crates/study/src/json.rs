@@ -223,6 +223,258 @@ pub fn pretty(compact: &str) -> String {
     out
 }
 
+/// A parsed JSON document. Object keys keep insertion order and numbers
+/// keep their exact source text, so a parse → [`Value::write_json`] round
+/// trip reproduces the compact input byte for byte — which is what the
+/// lint gate relies on to prove `lint --json` speaks real JSON.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// The number's source text, verbatim (`"1e-3"` stays `"1e-3"`).
+    Num(String),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup; `None` on non-objects or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) => n.parse().ok(),
+            _ => None,
+        }
+    }
+}
+
+impl ToJson for Value {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => b.write_json(out),
+            Value::Num(n) => out.push_str(n),
+            Value::Str(s) => push_json_str(out, s),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_json(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_json_str(out, k);
+                    out.push(':');
+                    v.write_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Parses a JSON document (the inverse of [`ToJson`]). Errors carry the
+/// byte offset of the offending character.
+pub fn parse(input: &str) -> Result<Value, String> {
+    let chars: Vec<(usize, char)> = input.char_indices().collect();
+    let mut p = Parser { chars, i: 0 };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.i < p.chars.len() {
+        return Err(format!("trailing input at byte {}", p.pos()));
+    }
+    Ok(v)
+}
+
+struct Parser {
+    chars: Vec<(usize, char)>,
+    i: usize,
+}
+
+impl Parser {
+    fn pos(&self) -> usize {
+        self.chars.get(self.i).map_or(usize::MAX, |&(p, _)| p)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.i).map(|&(_, c)| c)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek().is_some_and(|c| c.is_ascii_whitespace()) {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{c}` at byte {}", self.pos()))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str) -> bool {
+        let end = self.i + lit.chars().count();
+        if end <= self.chars.len()
+            && self.chars[self.i..end].iter().map(|&(_, c)| c).eq(lit.chars())
+        {
+            self.i = end;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some('{') => {
+                self.i += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some('}') {
+                    self.i += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.expect(':')?;
+                    fields.push((key, self.value()?));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(',') => self.i += 1,
+                        Some('}') => {
+                            self.i += 1;
+                            return Ok(Value::Obj(fields));
+                        }
+                        _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos())),
+                    }
+                }
+            }
+            Some('[') => {
+                self.i += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(']') {
+                    self.i += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(',') => self.i += 1,
+                        Some(']') => {
+                            self.i += 1;
+                            return Ok(Value::Arr(items));
+                        }
+                        _ => return Err(format!("expected `,` or `]` at byte {}", self.pos())),
+                    }
+                }
+            }
+            Some('"') => Ok(Value::Str(self.string()?)),
+            Some('t') if self.eat_lit("true") => Ok(Value::Bool(true)),
+            Some('f') if self.eat_lit("false") => Ok(Value::Bool(false)),
+            Some('n') if self.eat_lit("null") => Ok(Value::Null),
+            Some(c) if c == '-' || c.is_ascii_digit() => {
+                let mut num = String::new();
+                while let Some(c) = self.peek() {
+                    if !(c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E')) {
+                        break;
+                    }
+                    num.push(c);
+                    self.i += 1;
+                }
+                Ok(Value::Num(num))
+            }
+            _ => Err(format!("unexpected input at byte {}", self.pos())),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        if self.peek() != Some('"') {
+            return Err(format!("expected string at byte {}", self.pos()));
+        }
+        self.i += 1;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some('"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some('\\') => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some('"') => out.push('"'),
+                        Some('\\') => out.push('\\'),
+                        Some('/') => out.push('/'),
+                        Some('n') => out.push('\n'),
+                        Some('r') => out.push('\r'),
+                        Some('t') => out.push('\t'),
+                        Some('b') => out.push('\u{0008}'),
+                        Some('f') => out.push('\u{000c}'),
+                        Some('u') => {
+                            let mut code = 0u32;
+                            for _ in 0..4 {
+                                self.i += 1;
+                                let d = self
+                                    .peek()
+                                    .and_then(|c| c.to_digit(16))
+                                    .ok_or_else(|| {
+                                        format!("bad \\u escape at byte {}", self.pos())
+                                    })?;
+                                code = code * 16 + d;
+                            }
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos())),
+                    }
+                    self.i += 1;
+                }
+                Some(c) => {
+                    out.push(c);
+                    self.i += 1;
+                }
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -279,5 +531,36 @@ mod tests {
                 .collect()
         };
         assert_eq!(stripped, compact);
+    }
+
+    #[test]
+    fn parse_round_trips_compact_documents() {
+        let compact = "{\"a\":[1,2,1e-3],\"b\":\"x\\\"y\",\"c\":null,\"d\":true,\"e\":{}}";
+        let v = parse(compact).expect("parse");
+        assert_eq!(v.to_json(), compact);
+        // Pretty output parses back to the same tree.
+        assert_eq!(parse(&pretty(compact)).expect("parse pretty"), v);
+    }
+
+    #[test]
+    fn parse_accessors_navigate_objects() {
+        let v = parse("{\"rule\":\"wall-clock\",\"line\":7,\"tags\":[\"a\"]}").expect("parse");
+        assert_eq!(v.get("rule").and_then(Value::as_str), Some("wall-clock"));
+        assert_eq!(v.get("line").and_then(Value::as_u64), Some(7));
+        assert_eq!(v.get("tags").and_then(Value::as_array).map(<[Value]>::len), Some(1));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn parse_unescapes_strings() {
+        let v = parse("\"a\\n\\t\\u0041\\\\\"").expect("parse");
+        assert_eq!(v.as_str(), Some("a\n\tA\\"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in ["{", "[1,", "{\"a\"}", "tru", "\"unterminated", "1 2"] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
     }
 }

@@ -30,6 +30,9 @@ fn gray_failure_modules_deny_missing_docs() {
 #[test]
 fn forensics_layer_docs_build_without_warnings() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    // Test harness, not simulation code: finding the cargo that spawned
+    // us is exactly what the env-read rule's test carve-out is for.
+    #[allow(clippy::disallowed_methods)]
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
     let out = Command::new(cargo)
         .current_dir(root)

@@ -190,6 +190,20 @@ fn perf_bench_artifact_matches_the_registry_shape() {
     }
 }
 
+/// The lint-scan counters are a pure function of the committed source
+/// tree (no wall-clock numbers), so the artifact gets the full
+/// byte-for-byte golden treatment: any rule, resolver, or annotation
+/// change shows up as a counter diff here.
+#[test]
+fn lint_bench_artifact_is_fresh() {
+    assert_fresh(
+        "BENCH_lint.json",
+        &read("BENCH_lint.json"),
+        &bench::reports::lint_machine_json(),
+        "cargo run --release -p bench --bin lint_bench",
+    );
+}
+
 /// Guard the guard: golden tests are only trustworthy if the artifacts
 /// they check are the ones the repo actually commits.
 #[test]
@@ -202,6 +216,7 @@ fn all_golden_artifacts_exist() {
         "BENCH_fleet.json",
         "BENCH_forensics.json",
         "BENCH_gray.json",
+        "BENCH_lint.json",
         "BENCH_perf.json",
     ] {
         assert!(

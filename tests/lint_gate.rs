@@ -22,6 +22,87 @@ fn workspace_is_clean_under_determinism_rules() {
     );
 }
 
+/// Every `lint:allow` in the workspace must still suppress at least one
+/// finding — stale directives are silent holes in the gate and get
+/// deleted, not accumulated (`cargo run -p lint -- --unused-allows`).
+#[test]
+fn workspace_has_no_unused_allows() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = lint::analyze_workspace(root).expect("scan workspace");
+    assert!(
+        report.unused_allows.is_empty(),
+        "stale lint:allow directives (delete them):\n{}",
+        report
+            .unused_allows
+            .iter()
+            .map(|u| u.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // And there are real, audited exceptions — the gate is exercising
+    // the allow machinery, not running on an annotation-free tree.
+    assert!(report.stats.allow_sites > 0);
+    assert_eq!(report.stats.allow_sites, report.stats.allows_used);
+}
+
+/// The scenario/arm registry in `src/campaign.rs` must agree with the
+/// committed golden artifacts and the arm literals in these tests —
+/// e.g. `"dirty_and_stale_read/flawed"` here is itself checked against
+/// the registry by the pass.
+#[test]
+fn registry_is_consistent_with_golden_artifacts() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = lint::check_registry(root);
+    assert_eq!(report.scenarios, 39);
+    assert_eq!(report.arms, 77);
+    assert!(
+        report.findings.is_empty(),
+        "registry inconsistencies:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        neat_repro::campaign::arm_ids()
+            .iter()
+            .any(|a| a.name == "dirty_and_stale_read/flawed"),
+        "the registry lost its anchor scenario"
+    );
+}
+
+/// `--json` output must round-trip through `study::json`: parse the
+/// rendered findings, re-render, and land on the same value.
+#[test]
+fn json_findings_round_trip_through_study_json() {
+    let src = "\
+use std::collections::HashMap;
+
+fn bad() -> HashMap<u64, u64> {
+    let t = std::time::Instant::now();
+    HashMap::new()
+}
+";
+    let findings = scan_source("crates/repkv/src/fake.rs", src);
+    assert!(!findings.is_empty());
+    let json = lint::findings_to_json(&findings);
+    let doc = study::json::parse(&json).expect("lint --json output must parse");
+    let rows = doc.as_array().expect("findings are an array");
+    assert_eq!(rows.len(), findings.len());
+    for (row, f) in rows.iter().zip(&findings) {
+        assert_eq!(row.get("path").and_then(|v| v.as_str()), Some(f.path.as_str()));
+        assert_eq!(row.get("line").and_then(|v| v.as_u64()), Some(f.line as u64));
+        assert_eq!(row.get("rule").and_then(|v| v.as_str()), Some(f.rule.name()));
+    }
+    // Byte-level round trip: parse(render(parse(x))) == parse(x).
+    use study::json::ToJson;
+    let re_rendered = doc.to_json();
+    let re_parsed = study::json::parse(&re_rendered).expect("re-rendered JSON must parse");
+    assert_eq!(format!("{doc:?}"), format!("{re_parsed:?}"));
+}
+
 #[test]
 fn seeded_violations_are_caught_with_rule_and_line() {
     let src = "\
