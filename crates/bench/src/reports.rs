@@ -340,7 +340,7 @@ pub fn forensics_machine_json() -> String {
             "{{\"events_simulated\":{},\"messages_dropped\":{},\"ops_ordered\":{},\
              \"partitions_installed\":{},\"heals\":{},\"degrades_installed\":{},\
              \"degrade_heals\":{},\"crashes\":{},\"restarts\":{},\
-             \"verdicts\":{}}}",
+             \"verdicts\":{},\"load_samples\":{}}}",
             c.events_simulated,
             c.messages_dropped,
             c.ops_ordered,
@@ -351,6 +351,7 @@ pub fn forensics_machine_json() -> String {
             c.crashes,
             c.restarts,
             c.verdicts,
+            c.load_samples,
         );
     };
     let mut out = format!(
@@ -450,6 +451,136 @@ pub fn gray_machine_json() -> String {
         );
     }
     out.push_str("]}");
+    format!("{}\n", study::json::pretty(&out))
+}
+
+// --- load workloads ------------------------------------------------------
+
+/// The registry's load-driven scenarios: every partition label the
+/// workload family registers starts with `load` (so the gray filters
+/// above never claim them, and vice versa).
+fn workload_partition(partition: &str) -> bool {
+    partition.starts_with("load")
+}
+
+/// Shards of the sharded open-loop read ladder; fixed, so the shard
+/// decomposition — and therefore every shard's report — never depends on
+/// the `--jobs` rung being measured.
+const LADDER_SHARDS: usize = 8;
+
+/// The `--jobs` rungs the determinism ladder climbs.
+const LADDER_JOBS: [usize; 4] = [1, 2, 4, 8];
+
+/// Exact content of `BENCH_workload.json`: every load-driven scenario of
+/// the campaign at the historical seed 8 — both arms' checker verdicts,
+/// the flawed arm's per-op outcome counts and latency percentiles from
+/// the forensic timeline — plus the sharded open-loop read ladder:
+/// `ladder_ops` operations split over [`LADDER_SHARDS`] shards, run at
+/// every [`LADDER_JOBS`] rung, with the merged reports compared
+/// byte-for-byte. All numbers are virtual-time, so the artifact is fully
+/// deterministic; the binary runs the ladder at a million ops.
+pub fn workload_machine_json(ladder_ops: u64) -> String {
+    let specs = neat_repro::campaign::registry();
+    let load: Vec<&neat_repro::campaign::ScenarioSpec> = specs
+        .iter()
+        .filter(|s| workload_partition(s.partition))
+        .collect();
+    let arms: usize = load
+        .iter()
+        .map(|s| 1 + usize::from(s.fixed.is_some()))
+        .sum();
+    let kinds = |vs: &[neat::Violation]| {
+        let mut ks: Vec<String> = vs.iter().map(|v| v.kind.to_string()).collect();
+        ks.sort();
+        ks.dedup();
+        ks
+    };
+    let push_kinds = |out: &mut String, ks: &[String]| {
+        out.push('[');
+        for (i, k) in ks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            study::json::push_json_str(out, k);
+        }
+        out.push(']');
+    };
+    let mut out = format!(
+        "{{\"bench\":\"workload\",\"seed\":8,\"load_scenarios\":{},\"arms\":{arms},\
+         \"per_scenario\":[",
+        load.len()
+    );
+    for (i, s) in load.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let flawed = (s.flawed)(8, neat_repro::campaign::RunMode::Trace);
+        let fixed = s.fixed.as_ref().map(|f| f(8, neat_repro::campaign::RunMode::Trace));
+        out.push_str("{\"scenario\":");
+        study::json::push_json_str(&mut out, s.name);
+        out.push_str(",\"partition\":");
+        study::json::push_json_str(&mut out, s.partition);
+        out.push_str(",\"flawed\":");
+        push_kinds(&mut out, &kinds(&flawed.violations));
+        out.push_str(",\"fixed\":");
+        push_kinds(
+            &mut out,
+            &fixed.map(|f| kinds(&f.violations)).unwrap_or_default(),
+        );
+        let (ok, fail, timeout) = flawed.timeline.op_outcome_counts();
+        let (p50, p99, p999, max) = flawed
+            .timeline
+            .latency_percentiles()
+            .unwrap_or((0, 0, 0, 0));
+        let _ = write!(
+            out,
+            ",\"ops\":{},\"ok\":{ok},\"fail\":{fail},\"timeout\":{timeout},\
+             \"p50\":{p50},\"p99\":{p99},\"p999\":{p999},\"max\":{max},\
+             \"load_samples\":{}}}",
+            ok + fail + timeout,
+            flawed.timeline.counters.load_samples,
+        );
+    }
+    out.push_str("],\"open_loop\":");
+
+    // The determinism ladder: the same sharded run at every jobs rung
+    // must merge to the same bytes (fleet's index-sorted reduce plus
+    // shard-pure reports make scheduling invisible).
+    let per_shard = ladder_ops / LADDER_SHARDS as u64;
+    let mut rendered: Vec<String> = Vec::new();
+    let mut merged = workload::LoadReport::default();
+    for (r, &jobs) in LADDER_JOBS.iter().enumerate() {
+        let shards = fleet::pool::map(jobs, LADDER_SHARDS, |i| {
+            repkv::load::open_loop_read_shard(i as u64, per_shard)
+        });
+        let mut total = workload::LoadReport::default();
+        for s in &shards {
+            total.merge(s);
+        }
+        if r == 0 {
+            merged = total.clone();
+        }
+        rendered.push(total.render());
+    }
+    let byte_identical = rendered.iter().all(|r| *r == rendered[0]);
+    let _ = write!(
+        out,
+        "{{\"ops\":{},\"shards\":{LADDER_SHARDS},\"jobs\":[1,2,4,8],\
+         \"byte_identical\":{byte_identical},\"issued\":{},\"ok\":{},\
+         \"fail\":{},\"timeout\":{},\"p50\":{},\"p99\":{},\"p999\":{},\
+         \"max\":{},\"report\":",
+        per_shard * LADDER_SHARDS as u64,
+        merged.issued,
+        merged.ok,
+        merged.failed,
+        merged.timed_out,
+        merged.latency.p50().unwrap_or(0),
+        merged.latency.p99().unwrap_or(0),
+        merged.latency.p999().unwrap_or(0),
+        merged.latency.max().unwrap_or(0),
+    );
+    study::json::push_json_str(&mut out, &rendered[0]);
+    out.push_str("}}");
     format!("{}\n", study::json::pretty(&out))
 }
 
@@ -573,6 +704,45 @@ mod tests {
         assert!(!compact.contains("\"flawed\":[]"), "{json}");
         assert!(compact.contains("\"fixed\":[]"), "{json}");
         assert!(json.ends_with('\n'));
+    }
+
+    #[test]
+    fn workload_machine_json_covers_every_load_scenario() {
+        // A small ladder keeps the test quick; the binary runs a million.
+        let json = workload_machine_json(4000);
+        assert!(json.contains("\"bench\": \"workload\""), "{json}");
+        let load: Vec<_> = neat_repro::campaign::registry()
+            .into_iter()
+            .filter(|s| workload_partition(s.partition))
+            .collect();
+        assert!(load.len() >= 5, "only {} load scenarios", load.len());
+        for s in &load {
+            assert!(json.contains(&format!("\"{}\"", s.name)), "missing {}", s.name);
+        }
+        // Every load scenario drives real traffic, samples the stream,
+        // detects when flawed, and is clean when repaired; the ladder
+        // merges byte-identically at every jobs rung.
+        let compact: String = json.chars().filter(|c| !c.is_whitespace()).collect();
+        assert!(!compact.contains("\"ops\":0,"), "{json}");
+        assert!(!compact.contains("\"load_samples\":0"), "{json}");
+        assert!(!compact.contains("\"flawed\":[]"), "{json}");
+        assert!(compact.contains("\"fixed\":[]"), "{json}");
+        assert!(compact.contains("\"byte_identical\":true"), "{json}");
+        // Healthy-cluster ladder shards must answer every read: a shard
+        // streaming against a stale leader shows up as fails here.
+        assert!(compact.contains("\"issued\":4000,\"ok\":4000,\"fail\":0"), "{json}");
+        assert!(json.ends_with('\n'));
+    }
+
+    #[test]
+    fn gray_and_workload_partitions_never_overlap() {
+        for s in neat_repro::campaign::registry() {
+            assert!(
+                !(gray_partition(s.partition) && workload_partition(s.partition)),
+                "{} claimed by both families",
+                s.name
+            );
+        }
     }
 
     #[test]

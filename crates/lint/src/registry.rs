@@ -20,7 +20,11 @@
 //! 6. every scenario named by `table15` / `catalog_coverage` is
 //!    registered (dead internal references);
 //! 7. arm-shaped string literals (`…/flawed`, `…/fixed`) in the root
-//!    `tests/` tree name registered scenarios.
+//!    `tests/` tree name registered scenarios;
+//! 8. `BENCH_workload.json` `per_scenario` names and the registry's
+//!    load-driven subset (partition label `load*`) agree in *both*
+//!    directions, every row drove a non-zero operation count, and the
+//!    sharded ladder's `byte_identical` verdict is `true`.
 
 use std::collections::BTreeSet;
 use std::path::Path;
@@ -76,6 +80,7 @@ pub fn check_registry(root: &Path) -> RegistryReport {
     check_counts(root, "BENCH_fleet.json", registered.len(), arms, &mut findings);
     check_internal_references(&registered, &mut findings);
     check_test_references(root, &registered, &mut findings);
+    check_workload_bench(root, &mut findings);
 
     RegistryReport {
         scenarios: registered.len(),
@@ -347,6 +352,79 @@ fn check_test_references(
                 );
             }
         }
+    }
+}
+
+/// Check 8: BENCH_workload.json ↔ the registry's load-driven subset,
+/// both directions, plus the op counters and the ladder verdict. A
+/// doctored or rotted artifact fails here: a ghost scenario, a dropped
+/// scenario, a row that drove no traffic, or a ladder whose sharded
+/// runs stopped merging byte-identically.
+fn check_workload_bench(root: &Path, findings: &mut Vec<RegistryFinding>) {
+    const ARTIFACT: &str = "BENCH_workload.json";
+    let load: BTreeSet<String> = neat_repro::campaign::registry()
+        .iter()
+        .filter(|s| s.partition.starts_with("load"))
+        .map(|s| s.name.to_string())
+        .collect();
+    let Some(text) = read(root, ARTIFACT, findings) else {
+        return;
+    };
+    let doc = match study::json::parse(&text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            push(findings, ARTIFACT, format!("unparseable: {e}"));
+            return;
+        }
+    };
+    let mut names = BTreeSet::new();
+    for row in doc
+        .get("per_scenario")
+        .and_then(Value::as_array)
+        .unwrap_or(&[])
+    {
+        let Some(name) = row.get("scenario").and_then(Value::as_str) else {
+            continue;
+        };
+        names.insert(name.to_string());
+        if row.get("ops").and_then(Value::as_u64) == Some(0) {
+            push(
+                findings,
+                ARTIFACT,
+                format!("scenario `{name}` drove zero operations"),
+            );
+        }
+    }
+    for name in load.difference(&names) {
+        push(
+            findings,
+            ARTIFACT,
+            format!("registered load scenario `{name}` missing from per_scenario"),
+        );
+    }
+    for name in names.difference(&load) {
+        push(
+            findings,
+            ARTIFACT,
+            format!("per_scenario entry `{name}` is not a registered load scenario"),
+        );
+    }
+    match doc
+        .get("open_loop")
+        .and_then(|o| o.get("byte_identical"))
+        .and_then(Value::as_bool)
+    {
+        Some(true) => {}
+        Some(false) => push(
+            findings,
+            ARTIFACT,
+            "the sharded open-loop ladder no longer merges byte-identically".to_string(),
+        ),
+        None => push(
+            findings,
+            ARTIFACT,
+            "missing the open_loop byte_identical verdict".to_string(),
+        ),
     }
 }
 

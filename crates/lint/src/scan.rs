@@ -154,7 +154,7 @@ impl fmt::Display for UnusedAllow {
 /// The crates whose `src/` trees carry the strict rules (`hash-iteration`,
 /// `unwrap-expect`, and the v2 families): everything that executes inside
 /// the simulation, plus `obs`, whose recordings feed the fingerprints.
-const STRICT_CRATES: [&str; 10] = [
+const STRICT_CRATES: [&str; 11] = [
     "simnet",
     "neat",
     "consensus",
@@ -165,6 +165,7 @@ const STRICT_CRATES: [&str; 10] = [
     "sched",
     "dfs",
     "obs",
+    "workload",
 ];
 
 #[derive(Clone, Copy, Debug)]

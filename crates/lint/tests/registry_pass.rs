@@ -12,6 +12,7 @@ const ARTIFACTS: &[&str] = &[
     "BENCH_gray.json",
     "BENCH_perf.json",
     "BENCH_fleet.json",
+    "BENCH_workload.json",
 ];
 
 fn real_root() -> PathBuf {
@@ -43,8 +44,8 @@ fn messages(report: &lint::RegistryReport) -> String {
 #[test]
 fn real_registry_is_consistent() {
     let report = check_registry(&real_root());
-    assert_eq!(report.scenarios, 39);
-    assert_eq!(report.arms, 77);
+    assert_eq!(report.scenarios, 44);
+    assert_eq!(report.arms, 87);
     assert!(report.findings.is_empty(), "{}", messages(&report));
 }
 
@@ -104,13 +105,74 @@ fn stale_arm_counter_fails() {
     let root = scratch_root("registry_stale_arms");
     let path = root.join("BENCH_fleet.json");
     let text = std::fs::read_to_string(&path).expect("read copy");
-    let tampered = text.replace("\"arms\": 77", "\"arms\": 76");
+    let tampered = text.replace("\"arms\": 87", "\"arms\": 86");
     assert_ne!(text, tampered, "expected arms counter not found");
     std::fs::write(&path, tampered).expect("write tampered copy");
 
     let msgs = messages(&check_registry(&root));
     assert!(
-        msgs.contains("BENCH_fleet.json: records 76 arms; the registry has 77"),
+        msgs.contains("BENCH_fleet.json: records 86 arms; the registry has 87"),
+        "{msgs}"
+    );
+}
+
+#[test]
+fn dropped_workload_scenario_fails() {
+    // Deleting one per_scenario row models a stale artifact after a new
+    // load scenario was registered.
+    let root = scratch_root("registry_workload_dropped");
+    let path = root.join("BENCH_workload.json");
+    let text = std::fs::read_to_string(&path).expect("read copy");
+    let tampered = text.replace("load_hot_key_partition", "load_hot_key_partition_v2");
+    assert_ne!(text, tampered, "expected workload scenario not found");
+    std::fs::write(&path, tampered).expect("write tampered copy");
+
+    let msgs = messages(&check_registry(&root));
+    assert!(
+        msgs.contains(
+            "registered load scenario `load_hot_key_partition` missing from per_scenario"
+        ),
+        "{msgs}"
+    );
+    assert!(
+        msgs.contains(
+            "per_scenario entry `load_hot_key_partition_v2` is not a registered load scenario"
+        ),
+        "{msgs}"
+    );
+}
+
+#[test]
+fn zeroed_workload_ops_counter_fails() {
+    let root = scratch_root("registry_workload_zeroed");
+    let path = root.join("BENCH_workload.json");
+    let text = std::fs::read_to_string(&path).expect("read copy");
+    // Zero the first per-scenario ops counter (the ladder's much larger
+    // total is untouched by this replacement).
+    let needle = "\"ops\": ";
+    let at = text.find(needle).expect("an ops counter");
+    let end = at + needle.len() + text[at + needle.len()..]
+        .find(',')
+        .expect("ops value terminator");
+    let tampered = format!("{}{needle}0{}", &text[..at], &text[end..]);
+    std::fs::write(&path, tampered).expect("write tampered copy");
+
+    let msgs = messages(&check_registry(&root));
+    assert!(msgs.contains("drove zero operations"), "{msgs}");
+}
+
+#[test]
+fn broken_ladder_determinism_verdict_fails() {
+    let root = scratch_root("registry_workload_ladder");
+    let path = root.join("BENCH_workload.json");
+    let text = std::fs::read_to_string(&path).expect("read copy");
+    let tampered = text.replace("\"byte_identical\": true", "\"byte_identical\": false");
+    assert_ne!(text, tampered, "expected ladder verdict not found");
+    std::fs::write(&path, tampered).expect("write tampered copy");
+
+    let msgs = messages(&check_registry(&root));
+    assert!(
+        msgs.contains("the sharded open-loop ladder no longer merges byte-identically"),
         "{msgs}"
     );
 }

@@ -13,6 +13,7 @@
 pub mod autocluster;
 pub mod broker;
 pub mod cluster;
+pub mod load;
 pub mod scenarios;
 
 pub use autocluster::{AcFlaws, AcMsg, PeerBroker};

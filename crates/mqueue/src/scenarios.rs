@@ -80,7 +80,7 @@ pub fn fig6_hang(flaws: BrokerFlaws, seed: u64, record: bool) -> MqOutcome {
 /// Sleeps until the next flap window of the wanted phase begins, plus a
 /// small margin so in-flight deliveries do not straddle the boundary.
 /// `lossy = true` targets a degraded window, `false` a quiet one.
-fn align_to_flap(cluster: &mut MqCluster, period: u64, lossy: bool) {
+pub(crate) fn align_to_flap(cluster: &mut MqCluster, period: u64, lossy: bool) {
     let now = cluster.neat.now();
     let want = if lossy { 0 } else { 1 };
     let mut next = now / period + 1;

@@ -223,6 +223,13 @@ impl<A: Application> Neat<A> {
         self.world.run_for(ms);
     }
 
+    /// Records a workload-driver progress sample at the current virtual
+    /// time (see [`obs::Recorder::load_sample`]).
+    pub fn load_sample(&mut self, issued: u64, completed: u64, in_flight: u64, backlog: u64) {
+        let now = self.world.now();
+        self.obs.load_sample(now, issued, completed, in_flight, backlog);
+    }
+
     /// Current virtual time.
     pub fn now(&self) -> Time {
         self.world.now()

@@ -152,6 +152,20 @@ pub enum Event {
         /// The annotation text.
         text: String,
     },
+    /// A workload-driver progress sample: how far the load generator has
+    /// gotten and how much work the system is holding.
+    Load {
+        /// Virtual time of the sample.
+        at: Time,
+        /// Operations the driver has issued so far.
+        issued: u64,
+        /// Operations that have completed (any outcome).
+        completed: u64,
+        /// Issued minus completed at the sample point.
+        in_flight: u64,
+        /// Issued ops that ran behind their scheduled arrival so far.
+        backlog: u64,
+    },
 }
 
 impl Event {
@@ -165,7 +179,8 @@ impl Event {
             | Event::Crashed { at, .. }
             | Event::Restarted { at, .. }
             | Event::Verdict { at, .. }
-            | Event::Note { at, .. } => *at,
+            | Event::Note { at, .. }
+            | Event::Load { at, .. } => *at,
             Event::Op { start, .. } => *start,
         }
     }
@@ -182,6 +197,7 @@ impl Event {
             Event::Op { .. } => "op",
             Event::Verdict { .. } => "verdict",
             Event::Note { .. } => "note",
+            Event::Load { .. } => "load",
         }
     }
 }
@@ -222,6 +238,12 @@ impl std::fmt::Display for Event {
                 write!(f, "[{at:>6}] check  VIOLATION {kind}: {details}")
             }
             Event::Note { at, node, text } => write!(f, "[{at:>6}] {node}  {text}"),
+            Event::Load { at, issued, completed, in_flight, backlog } => {
+                write!(
+                    f,
+                    "[{at:>6}] load   issued={issued} completed={completed} in-flight={in_flight} backlog={backlog}"
+                )
+            }
         }
     }
 }
@@ -254,14 +276,16 @@ pub struct Counters {
     pub restarts: u64,
     /// Checker verdicts recorded.
     pub verdicts: u64,
+    /// Workload-driver progress samples recorded.
+    pub load_samples: u64,
 }
 
 impl Counters {
     /// One-line rendering for reports:
-    /// `events=N dropped=N ops=N partitions=N heals=N degrades=N degrade-heals=N crashes=N restarts=N verdicts=N`.
+    /// `events=N dropped=N ops=N partitions=N heals=N degrades=N degrade-heals=N crashes=N restarts=N verdicts=N load-samples=N`.
     pub fn render(&self) -> String {
         format!(
-            "events={} dropped={} ops={} partitions={} heals={} degrades={} degrade-heals={} crashes={} restarts={} verdicts={}",
+            "events={} dropped={} ops={} partitions={} heals={} degrades={} degrade-heals={} crashes={} restarts={} verdicts={} load-samples={}",
             self.events_simulated,
             self.messages_dropped,
             self.ops_ordered,
@@ -272,6 +296,7 @@ impl Counters {
             self.crashes,
             self.restarts,
             self.verdicts,
+            self.load_samples,
         )
     }
 
@@ -287,6 +312,7 @@ impl Counters {
         self.crashes += other.crashes;
         self.restarts += other.restarts;
         self.verdicts += other.verdicts;
+        self.load_samples += other.load_samples;
     }
 }
 
@@ -374,6 +400,17 @@ mod tests {
         };
         assert_eq!(op.at(), 10);
         assert_eq!(op.label(), "op");
+    }
+
+    #[test]
+    fn load_event_display_and_label() {
+        let ev = Event::Load { at: 1200, issued: 40, completed: 37, in_flight: 3, backlog: 5 };
+        assert_eq!(
+            ev.to_string(),
+            "[  1200] load   issued=40 completed=37 in-flight=3 backlog=5"
+        );
+        assert_eq!(ev.label(), "load");
+        assert_eq!(ev.at(), 1200);
     }
 
     #[test]

@@ -175,6 +175,20 @@ impl Recorder {
         self.push(Event::Note { at, node, text });
     }
 
+    /// Records one workload-driver progress sample. The counter always
+    /// bumps; the event only lands when per-event recording is on.
+    pub fn load_sample(
+        &mut self,
+        at: Time,
+        issued: u64,
+        completed: u64,
+        in_flight: u64,
+        backlog: u64,
+    ) {
+        self.counters.load_samples += 1;
+        self.push(Event::Load { at, issued, completed, in_flight, backlog });
+    }
+
     /// Snapshots the recorder alone into a [`Timeline`] (events sorted by
     /// virtual time, insertion order preserved within a tick).
     pub fn snapshot(&self) -> Timeline {

@@ -126,6 +126,53 @@ impl Timeline {
         })
     }
 
+    /// Exact nearest-rank latency percentiles `(p50, p99, p999, max)` over
+    /// the recorded client operations (`end - start` per [`Event::Op`]).
+    /// `None` when no ops were recorded.
+    pub fn latency_percentiles(&self) -> Option<(Time, Time, Time, Time)> {
+        let mut lats: Vec<Time> = self
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Op { start, end, .. } => Some(end.saturating_sub(*start)),
+                _ => None,
+            })
+            .collect();
+        if lats.is_empty() {
+            return None;
+        }
+        lats.sort_unstable();
+        let total = lats.len() as u64;
+        // Nearest-rank: rank = ceil(total * num / den), 1-based, clamped
+        // to at least the first sample.
+        let pick = |num: u64, den: u64| {
+            let rank = (total * num).div_ceil(den).max(1);
+            lats[(rank - 1) as usize]
+        };
+        Some((pick(50, 100), pick(99, 100), pick(999, 1000), lats[lats.len() - 1]))
+    }
+
+    /// Recorded client operations bucketed by outcome: `(ok, fail,
+    /// timeout)`. Outcomes are matched on the rendered string, so `Ok(..)`
+    /// and `OkMany(..)` both count as ok.
+    pub fn op_outcome_counts(&self) -> (u64, u64, u64) {
+        let mut ok = 0;
+        let mut fail = 0;
+        let mut timeout = 0;
+        for ev in &self.events {
+            if let Event::Op { outcome, .. } = ev {
+                if outcome.starts_with("Ok") {
+                    ok += 1;
+                } else if outcome.starts_with("Timeout") {
+                    timeout += 1;
+                } else {
+                    fail += 1;
+                }
+            }
+        }
+        (ok, fail, timeout)
+    }
+
     /// Appends one JSONL line per event: `{"scenario":...,"seq":N,...}`.
     ///
     /// The schema is flat and stable; see EXPERIMENTS.md "Forensics" for
@@ -192,6 +239,11 @@ impl Timeline {
                 Event::Note { at, node, text } => {
                     out.push_str(&format!(",\"at\":{at},\"node\":{},\"text\":", node.0));
                     push_json_str(out, text);
+                }
+                Event::Load { at, issued, completed, in_flight, backlog } => {
+                    out.push_str(&format!(
+                        ",\"at\":{at},\"issued\":{issued},\"completed\":{completed},\"in_flight\":{in_flight},\"backlog\":{backlog}"
+                    ));
                 }
             }
             out.push_str("}\n");
@@ -288,6 +340,45 @@ mod tests {
         assert!(out.contains("\"type\":\"partition\""));
         assert!(out.contains("\"scenario\":\"demo\""));
         assert!(out.contains("quote \\\" here"));
+    }
+
+    #[test]
+    fn latency_percentiles_are_exact_nearest_rank() {
+        let mut r = Recorder::new(true);
+        // Latencies 1..=100 ms: p50 = 50, p99 = 99, p999 = 100, max = 100.
+        for i in 1..=100u64 {
+            r.op(1000, 1000 + i, NodeId(1), "k".into(), "Read".into(), "Ok(None)".into());
+        }
+        let t = r.snapshot();
+        assert_eq!(t.latency_percentiles(), Some((50, 99, 100, 100)));
+        assert!(Timeline::default().latency_percentiles().is_none());
+    }
+
+    #[test]
+    fn op_outcomes_bucket_by_rendered_string() {
+        let mut r = Recorder::new(true);
+        r.op(1, 2, NodeId(0), "k".into(), "Read".into(), "Ok(Some(3))".into());
+        r.op(2, 3, NodeId(0), "k".into(), "Read".into(), "OkMany([1])".into());
+        r.op(3, 4, NodeId(0), "k".into(), "Write".into(), "Fail".into());
+        r.op(4, 5, NodeId(0), "k".into(), "Write".into(), "Timeout".into());
+        assert_eq!(r.snapshot().op_outcome_counts(), (2, 1, 1));
+    }
+
+    #[test]
+    fn load_samples_count_and_serialize() {
+        let mut r = Recorder::new(true);
+        r.load_sample(500, 10, 8, 2, 1);
+        let t = r.snapshot();
+        assert_eq!(t.counters.load_samples, 1);
+        let mut out = String::new();
+        t.write_jsonl("load", &mut out);
+        assert!(out.contains(
+            "\"type\":\"load\",\"at\":500,\"issued\":10,\"completed\":8,\"in_flight\":2,\"backlog\":1"
+        ));
+        let mut off = Recorder::new(false);
+        off.load_sample(1, 1, 1, 0, 0);
+        assert!(off.events().is_empty());
+        assert_eq!(off.counters().load_samples, 1);
     }
 
     #[test]

@@ -160,6 +160,19 @@ impl KvClient {
         )
     }
 
+    /// Writes every `(key, val)` pair as one batch the client expects to
+    /// land atomically. The history records a single logical operation;
+    /// all-or-nothing is the *scenario's* assertion against the final
+    /// state, not a register-checker property.
+    pub fn batch(&self, neat: &mut Neat<Proc>, ops: &[(&str, u64)]) -> Outcome {
+        let req = Req::Batch {
+            ops: ops.iter().map(|(k, v)| ((*k).to_string(), *v)).collect(),
+        };
+        let keys: Vec<&str> = ops.iter().map(|(k, _)| *k).collect();
+        let label = format!("batch[{}]", keys.join("+"));
+        self.run(neat, req, Op::Other { label })
+    }
+
     /// Adds `by` to the counter at `key` (non-idempotent).
     pub fn incr(&self, neat: &mut Neat<Proc>, key: &str, by: u64) -> Outcome {
         self.run(

@@ -80,6 +80,11 @@ pub struct Config {
     pub priority_node: Option<usize>,
     /// Whether a leader steps down after losing contact with a majority.
     pub step_down_on_lost_majority: bool,
+    /// Append multi-key batches to the log as one unit and acknowledge only
+    /// once the whole batch commits (`true` = fixed). The flawed default
+    /// acknowledges on the first entry's append and drips the tail out one
+    /// entry per replication round trip, so a partition mid-batch tears it.
+    pub atomic_batch: bool,
     /// Heartbeat broadcast interval, ms.
     pub heartbeat_interval: Time,
     /// Base follower election timeout, ms (jittered up to +50%).
@@ -107,6 +112,7 @@ impl Config {
             coordinator_routing: false,
             priority_node: None,
             step_down_on_lost_majority: true,
+            atomic_batch: false,
             heartbeat_interval: 50,
             election_timeout: 300,
             replication_timeout: 200,
@@ -166,6 +172,7 @@ impl Config {
             read: ReadPolicy::LeasedPrimary,
             apply_before_commit: false,
             fail_on_repl_timeout: false,
+            atomic_batch: true,
             ..Self::base(ElectionPolicy::MajorityFreshest)
         }
     }
@@ -195,6 +202,8 @@ mod tests {
         assert!(!f.vote_while_connected_to_leader);
         assert!(!f.followers_accept_any_leader);
         assert!(f.priority_node.is_none());
+        assert!(f.atomic_batch);
+        assert!(!Config::voltdb().atomic_batch, "flawed profiles tear batches");
     }
 
     #[test]

@@ -18,6 +18,7 @@ pub mod client;
 pub mod explorer;
 pub mod cluster;
 pub mod config;
+pub mod load;
 pub mod msg;
 pub mod scenarios;
 pub mod server;

@@ -32,6 +32,10 @@ pub enum Req {
     Read { key: String },
     Delete { key: String },
     Incr { key: String, by: u64 },
+    /// A multi-key write the client expects to land atomically — either
+    /// every `(key, val)` pair or none (the `atomic_batch` config toggle
+    /// decides whether the server honours that).
+    Batch { ops: Vec<(String, u64)> },
 }
 
 /// A server response to a client request.

@@ -83,6 +83,14 @@ pub struct Server {
     hb_acks: BTreeSet<NodeId>,
     pending: BTreeMap<usize, Pending>,
     coord_pending: BTreeMap<u64, NodeId>,
+    /// Last fully-acked log length per replica (Raft's matchIndex): lets a
+    /// leader commit a majority-replicated prefix even when no client ack
+    /// is pending for it — e.g. tail entries inherited from the previous
+    /// leadership.
+    match_len: BTreeMap<NodeId, usize>,
+    /// Tail of an early-acked non-atomic batch, appended one entry per
+    /// replication round trip (empty when `cfg.atomic_batch`).
+    batch_queue: Vec<(String, u64)>,
     kv: BTreeMap<String, u64>,
     /// Count of elections this node has won, for thrash measurements.
     pub elections_won: u64,
@@ -112,6 +120,8 @@ impl Server {
             hb_acks: BTreeSet::new(),
             pending: BTreeMap::new(),
             coord_pending: BTreeMap::new(),
+            match_len: BTreeMap::new(),
+            batch_queue: Vec::new(),
             kv: BTreeMap::new(),
             elections_won: 0,
         }
@@ -265,6 +275,8 @@ impl Server {
         self.votes.clear();
         self.pending.clear();
         self.coord_pending.clear();
+        self.match_len.clear();
+        self.batch_queue.clear();
         self.hb_acks.clear();
         self.missed_ack_rounds = 0;
         self.lease_until = 0;
@@ -282,6 +294,9 @@ impl Server {
         if was_leader {
             ctx.note(format!("steps down (term {})", self.term));
             self.fail_all_pending(ctx);
+            // The tail of an early-acked batch dies with the leadership —
+            // the client was already told Ok (the torn-batch flaw).
+            self.batch_queue.clear();
         }
     }
 
@@ -318,6 +333,7 @@ impl Server {
         self.role = Role::Leader;
         self.leader_hint = Some(self.me);
         self.missed_ack_rounds = 0;
+        self.match_len.clear();
         self.hb_acks = std::iter::once(self.me).collect();
         // A majority just voted within the last round trip; that grant is a
         // valid read lease until the first heartbeat round takes over.
@@ -391,40 +407,79 @@ impl Server {
                     Req::Write { key, val } => (key, EntryOp::Put(val)),
                     Req::Delete { key } => (key, EntryOp::Delete),
                     Req::Incr { key, by } => (key, EntryOp::Incr(by)),
-                    Req::Read { .. } => unreachable!(),
+                    Req::Read { .. } | Req::Batch { .. } => unreachable!(),
                 };
-                let entry = Entry {
-                    term: self.term,
-                    ts: ctx.now(),
-                    key,
-                    op,
-                };
-                self.log.push(entry.clone());
-                if self.cfg.apply_before_commit {
-                    Self::apply_to(&mut self.kv, &entry);
-                }
+                self.append_entry(ctx, key, op);
                 let idx = self.log.len();
-                let needed = self.needed_acks();
-                if needed <= 1 {
-                    // Asynchronous replication: acknowledge right away.
-                    self.committed = self.committed.max(idx);
-                    if !self.cfg.apply_before_commit {
-                        self.rebuild_kv();
-                    }
+                self.ack_at(ctx, idx, reply);
+                self.broadcast_replicate(ctx);
+            }
+            Req::Batch { ops } => {
+                if ops.is_empty() {
                     self.reply(ctx, &reply, Resp::Ok);
+                    return;
+                }
+                if self.cfg.atomic_batch {
+                    // Fixed: the whole batch is one log unit; the client is
+                    // answered once the *last* entry commits, so either every
+                    // entry is durable or the client never saw an Ok.
+                    for (key, val) in ops {
+                        self.append_entry(ctx, key, EntryOp::Put(val));
+                    }
+                    let idx = self.log.len();
+                    self.ack_at(ctx, idx, reply);
                 } else {
-                    self.pending.insert(
-                        idx,
-                        Pending {
-                            reply,
-                            acks: std::iter::once(self.me).collect(),
-                            needed,
-                        },
-                    );
-                    ctx.set_timer(self.cfg.replication_timeout, TAG_REPL + idx as u64);
+                    // Flaw: acknowledge on the first entry's append and drip
+                    // the tail out one entry per replication round trip — a
+                    // partition mid-batch strands the unreplicated suffix.
+                    let mut ops = ops.into_iter();
+                    if let Some((key, val)) = ops.next() {
+                        self.append_entry(ctx, key, EntryOp::Put(val));
+                    }
+                    self.batch_queue.extend(ops);
+                    self.reply(ctx, &reply, Resp::Ok);
                 }
                 self.broadcast_replicate(ctx);
             }
+        }
+    }
+
+    /// Appends one entry under the current term, applying it immediately
+    /// when the profile applies before commit.
+    fn append_entry(&mut self, ctx: &mut Ctx<'_, Msg>, key: String, op: EntryOp) {
+        let entry = Entry {
+            term: self.term,
+            ts: ctx.now(),
+            key,
+            op,
+        };
+        self.log.push(entry.clone());
+        if self.cfg.apply_before_commit {
+            Self::apply_to(&mut self.kv, &entry);
+        }
+    }
+
+    /// Acknowledges the mutation at log index `idx`: immediately under
+    /// asynchronous replication, else once enough replicas ack.
+    fn ack_at(&mut self, ctx: &mut Ctx<'_, Msg>, idx: usize, reply: ReplyTo) {
+        let needed = self.needed_acks();
+        if needed <= 1 {
+            // Asynchronous replication: acknowledge right away.
+            self.committed = self.committed.max(idx);
+            if !self.cfg.apply_before_commit {
+                self.rebuild_kv();
+            }
+            self.reply(ctx, &reply, Resp::Ok);
+        } else {
+            self.pending.insert(
+                idx,
+                Pending {
+                    reply,
+                    acks: std::iter::once(self.me).collect(),
+                    needed,
+                },
+            );
+            ctx.set_timer(self.cfg.replication_timeout, TAG_REPL + idx as u64);
         }
     }
 
@@ -716,6 +771,37 @@ impl Server {
                 self.reply(ctx, &p.reply, Resp::Ok);
             }
         }
+        // Raft-style commit advancement: a prefix replicated on a majority
+        // is committed even when no client ack is pending for it — this is
+        // how a new leader commits tail entries inherited from the previous
+        // leadership instead of stranding them forever uncommitted.
+        self.match_len.insert(from, acked_len.min(self.log.len()));
+        let mut lens: Vec<usize> = self
+            .data_replicas()
+            .iter()
+            .map(|r| {
+                if *r == self.me {
+                    self.log.len()
+                } else {
+                    self.match_len.get(r).copied().unwrap_or(0)
+                }
+            })
+            .collect();
+        lens.sort_unstable();
+        let quorum = lens[lens.len().saturating_sub(self.needed_acks().min(lens.len()))];
+        if quorum > self.committed {
+            self.committed = quorum;
+            if !self.cfg.apply_before_commit {
+                self.rebuild_kv();
+            }
+        }
+        // Drip the next entry of an early-acked batch once the follower has
+        // caught up to the log as broadcast — one entry per round trip.
+        if !self.batch_queue.is_empty() && acked_len >= self.log.len() {
+            let (key, val) = self.batch_queue.remove(0);
+            self.append_entry(ctx, key, EntryOp::Put(val));
+            self.broadcast_replicate(ctx);
+        }
     }
 
     /// Timer handler.
@@ -791,6 +877,8 @@ impl Server {
         self.votes.clear();
         self.pending.clear();
         self.coord_pending.clear();
+        self.match_len.clear();
+        self.batch_queue.clear();
         self.hb_acks.clear();
         self.kv.clear();
     }

@@ -1,0 +1,391 @@
+//! The workload driver: turns a spec and a seed into a deterministic
+//! stream of [`PlannedOp`]s and accounts for their completions.
+//!
+//! The driver is pull-based and system-agnostic. Scenario code loops:
+//!
+//! ```text
+//! while let Some(op) = driver.next_op() {
+//!     // sleep virtual time up to op.at if the sim is early;
+//!     // execute against the system's client wrapper;
+//!     driver.complete(&op, start, end, status);
+//! }
+//! let report = driver.report();
+//! ```
+//!
+//! Open loop: arrival times come from the [`Arrival`] process and never
+//! wait for completions — with synchronous clients, an overloaded system
+//! falls *behind* the schedule, visible as `behind`/`max_lag` and as
+//! queue-wait inflating every latency (latency is measured from the
+//! scheduled arrival). Closed loop: `clients` virtual clients each issue
+//! their next op `think_ms` after their previous completion.
+
+use rand::{rngs::StdRng, Rng, RngCore, SeedableRng};
+
+use crate::{
+    arrival::Arrival,
+    keyspace::{KeySampler, Keyspace},
+    stats::LoadReport,
+};
+
+/// What kind of operation a planned slot carries.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OpKind {
+    /// Read the key.
+    Read,
+    /// Write a unique value to the key.
+    Write,
+    /// Increment the key by 1.
+    Incr,
+    /// Enqueue a unique value onto the key (message queues).
+    Enqueue,
+    /// A batch of writes starting at the key (see [`WorkloadSpec::batch`]).
+    Batch,
+}
+
+/// How one completed operation ended.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OpStatus {
+    /// Acknowledged success.
+    Ok,
+    /// Explicit failure answer.
+    Fail,
+    /// Client timeout; outcome unknown.
+    Timeout,
+}
+
+/// One operation the driver scheduled.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlannedOp {
+    /// Global sequence number, from 0.
+    pub seq: u64,
+    /// Virtual client issuing the op (always 0 in open loop).
+    pub client: usize,
+    /// Scheduled arrival (open loop) or ready time (closed loop), virtual ms.
+    pub at: u64,
+    /// Operation kind, drawn from the [`Mix`].
+    pub kind: OpKind,
+    /// Key index into the keyspace.
+    pub key: usize,
+    /// Unique value for mutations (`seq + 1`, so 0 never collides).
+    pub val: u64,
+}
+
+/// Relative weights of the operation kinds; zero excludes a kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Mix {
+    /// Weight of [`OpKind::Read`].
+    pub read: u32,
+    /// Weight of [`OpKind::Write`].
+    pub write: u32,
+    /// Weight of [`OpKind::Incr`].
+    pub incr: u32,
+    /// Weight of [`OpKind::Enqueue`].
+    pub enqueue: u32,
+}
+
+impl Mix {
+    /// Only writes.
+    pub fn writes() -> Self {
+        Mix { read: 0, write: 1, incr: 0, enqueue: 0 }
+    }
+
+    /// Only increments.
+    pub fn incrs() -> Self {
+        Mix { read: 0, write: 0, incr: 1, enqueue: 0 }
+    }
+
+    /// Only enqueues.
+    pub fn enqueues() -> Self {
+        Mix { read: 0, write: 0, incr: 0, enqueue: 1 }
+    }
+
+    /// Reads and writes at the given weights.
+    pub fn read_write(read: u32, write: u32) -> Self {
+        Mix { read, write, incr: 0, enqueue: 0 }
+    }
+
+    fn choose<R: RngCore>(&self, rng: &mut R) -> OpKind {
+        let total = self.read + self.write + self.incr + self.enqueue;
+        assert!(total > 0, "empty op mix");
+        let mut pick = rng.gen_range(0..total);
+        for (kind, w) in [
+            (OpKind::Read, self.read),
+            (OpKind::Write, self.write),
+            (OpKind::Incr, self.incr),
+            (OpKind::Enqueue, self.enqueue),
+        ] {
+            if pick < w {
+                return kind;
+            }
+            pick -= w;
+        }
+        unreachable!("pick exceeded total weight")
+    }
+}
+
+/// Open loop (arrivals independent of completions) or closed loop
+/// (completions gate the next issue).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Pacing {
+    /// Open loop under the given arrival process.
+    Open(Arrival),
+    /// Closed loop: `clients` virtual clients, each waiting `think_ms`
+    /// after a completion before its next issue.
+    Closed {
+        /// Number of virtual clients (`>= 1`).
+        clients: usize,
+        /// Think time between a completion and the client's next op, ms.
+        think_ms: u64,
+    },
+}
+
+/// Everything that defines a workload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadSpec {
+    /// Open- or closed-loop pacing.
+    pub pacing: Pacing,
+    /// Key popularity distribution.
+    pub keyspace: Keyspace,
+    /// Operation mix.
+    pub mix: Mix,
+    /// Total operations to issue.
+    pub ops: u64,
+    /// Writes per batch; values `>= 2` turn every slot into an
+    /// [`OpKind::Batch`] of this many writes to consecutive keys.
+    pub batch: u32,
+    /// Virtual time of the first arrival.
+    pub start_at: u64,
+}
+
+/// The deterministic workload driver. See the [module docs](self) for the
+/// pull/complete protocol.
+#[derive(Debug)]
+pub struct Driver {
+    spec: WorkloadSpec,
+    sampler: KeySampler,
+    rng: StdRng,
+    issued: u64,
+    next_arrival: u64,
+    /// Per-client ready times (closed loop).
+    ready: Vec<u64>,
+    report: LoadReport,
+}
+
+impl Driver {
+    /// Builds a driver; the op stream is a pure function of
+    /// `(spec, seed)`.
+    pub fn new(spec: WorkloadSpec, seed: u64) -> Self {
+        let sampler = KeySampler::new(&spec.keyspace);
+        // Decorrelate from world seeds that tend to be small integers.
+        let rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let (next_arrival, ready) = match &spec.pacing {
+            Pacing::Open(_) => (spec.start_at, Vec::new()),
+            Pacing::Closed { clients, .. } => {
+                assert!(*clients >= 1, "closed loop needs at least one client");
+                (0, vec![spec.start_at; *clients])
+            }
+        };
+        Self {
+            spec,
+            sampler,
+            rng,
+            issued: 0,
+            next_arrival,
+            ready,
+            report: LoadReport::default(),
+        }
+    }
+
+    /// The next operation to issue, or `None` once `spec.ops` have been
+    /// produced. The caller is expected to execute ops in the order they
+    /// are pulled (the simulation is single-threaded, so this is the only
+    /// order there is).
+    pub fn next_op(&mut self) -> Option<PlannedOp> {
+        if self.issued >= self.spec.ops {
+            return None;
+        }
+        let seq = self.issued;
+        self.issued += 1;
+        self.report.issued += 1;
+        let (client, at) = match &self.spec.pacing {
+            Pacing::Open(arrival) => {
+                let at = self.next_arrival;
+                self.next_arrival = at + arrival.gap(&mut self.rng, at);
+                (0, at)
+            }
+            Pacing::Closed { .. } => {
+                // The client that becomes ready first issues next; ties go
+                // to the lowest client id.
+                let client = (0..self.ready.len())
+                    .min_by_key(|&c| (self.ready[c], c))
+                    .unwrap_or(0);
+                (client, self.ready[client])
+            }
+        };
+        let kind = if self.spec.batch >= 2 {
+            OpKind::Batch
+        } else {
+            self.spec.mix.choose(&mut self.rng)
+        };
+        let key = self.sampler.sample(&mut self.rng);
+        Some(PlannedOp {
+            seq,
+            client,
+            at,
+            kind,
+            key,
+            val: seq + 1,
+        })
+    }
+
+    /// Records that `op` was issued at `start` and completed at `end`
+    /// with `status`. Latency counts from the *scheduled* arrival, so
+    /// open-loop queue wait is part of it.
+    pub fn complete(&mut self, op: &PlannedOp, start: u64, end: u64, status: OpStatus) {
+        self.report.completed += 1;
+        match status {
+            OpStatus::Ok => self.report.ok += 1,
+            OpStatus::Fail => self.report.failed += 1,
+            OpStatus::Timeout => self.report.timed_out += 1,
+        }
+        let lag = start.saturating_sub(op.at);
+        if lag > 0 {
+            self.report.behind += 1;
+            self.report.max_lag = self.report.max_lag.max(lag);
+        }
+        self.report.latency.record(end.saturating_sub(op.at));
+        if let Pacing::Closed { think_ms, .. } = self.spec.pacing {
+            if let Some(slot) = self.ready.get_mut(op.client) {
+                *slot = end + think_ms;
+            }
+        }
+    }
+
+    /// Operations issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Issued minus completed.
+    pub fn in_flight(&self) -> u64 {
+        self.issued - self.report.completed
+    }
+
+    /// How many issued ops ran behind schedule so far.
+    pub fn behind(&self) -> u64 {
+        self.report.behind
+    }
+
+    /// The accumulated report.
+    pub fn report(&self) -> &LoadReport {
+        &self.report
+    }
+
+    /// Consumes the driver, yielding the final report.
+    pub fn into_report(self) -> LoadReport {
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn open_spec(ops: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            pacing: Pacing::Open(Arrival::Poisson { rate: 100.0 }),
+            keyspace: Keyspace::Uniform { keys: 4 },
+            mix: Mix::read_write(1, 1),
+            ops,
+            batch: 0,
+            start_at: 10,
+        }
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let mut a = Driver::new(open_spec(50), 8);
+        let mut b = Driver::new(open_spec(50), 8);
+        while let Some(op) = a.next_op() {
+            assert_eq!(Some(op), b.next_op());
+        }
+        assert_eq!(b.next_op(), None);
+    }
+
+    #[test]
+    fn open_loop_arrivals_are_nondecreasing_and_vals_unique() {
+        let mut d = Driver::new(open_spec(100), 3);
+        let mut last = 0;
+        let mut vals = std::collections::BTreeSet::new();
+        while let Some(op) = d.next_op() {
+            assert!(op.at >= last);
+            last = op.at;
+            assert!(vals.insert(op.val));
+        }
+        assert_eq!(vals.len(), 100);
+    }
+
+    #[test]
+    fn closed_loop_spaces_by_think_time() {
+        let spec = WorkloadSpec {
+            pacing: Pacing::Closed { clients: 2, think_ms: 30 },
+            keyspace: Keyspace::Uniform { keys: 2 },
+            mix: Mix::writes(),
+            ops: 6,
+            batch: 0,
+            start_at: 0,
+        };
+        let mut d = Driver::new(spec, 1);
+        let mut ends = [0u64; 2];
+        while let Some(op) = d.next_op() {
+            // Each op takes 5 virtual ms to execute.
+            let start = op.at.max(ends[op.client]);
+            let end = start + 5;
+            ends[op.client] = end;
+            d.complete(&op, start, end, OpStatus::Ok);
+        }
+        let r = d.report();
+        assert_eq!(r.issued, 6);
+        assert_eq!(r.ok, 6);
+        // Three ops per client: 0..5, think to 35..40, think to 70..75.
+        assert_eq!(r.latency.max(), Some(5));
+    }
+
+    #[test]
+    fn behind_schedule_ops_count_and_lag() {
+        let mut d = Driver::new(open_spec(10), 5);
+        while let Some(op) = d.next_op() {
+            // Execute everything 100 ms late.
+            d.complete(&op, op.at + 100, op.at + 120, OpStatus::Timeout);
+        }
+        let r = d.report();
+        assert_eq!(r.behind, 10);
+        assert_eq!(r.max_lag, 100);
+        assert_eq!(r.timed_out, 10);
+        assert_eq!(r.latency.max(), Some(120));
+    }
+
+    #[test]
+    fn batch_spec_yields_batch_ops() {
+        let spec = WorkloadSpec {
+            batch: 4,
+            ..open_spec(5)
+        };
+        let mut d = Driver::new(spec, 2);
+        while let Some(op) = d.next_op() {
+            assert_eq!(op.kind, OpKind::Batch);
+        }
+    }
+
+    #[test]
+    fn mix_weights_respected() {
+        let spec = WorkloadSpec {
+            mix: Mix::incrs(),
+            ..open_spec(40)
+        };
+        let mut d = Driver::new(spec, 4);
+        while let Some(op) = d.next_op() {
+            assert_eq!(op.kind, OpKind::Incr);
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Keyspace distributions: which key the next operation addresses.
+//!
+//! All sampling goes through the vendored `rand` shim (xoshiro256++), so
+//! a distribution is a pure function of the driver seed. The zipfian and
+//! hot-key shapes carry `f64` knobs; both are audited float sites — the
+//! floats only ever combine with the 53-bit uniform draw of
+//! [`crate::unit`], never with wall-clock or platform-dependent state.
+
+use rand::{Rng, RngCore};
+
+/// A bounded keyspace and the popularity distribution over it.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Keyspace {
+    /// Every key equally likely.
+    Uniform {
+        /// Number of keys (`>= 1`).
+        keys: usize,
+    },
+    /// Zipf-distributed popularity: key `i` is drawn with weight
+    /// `1 / (i + 1)^theta`, so low-index keys dominate.
+    Zipfian {
+        /// Number of keys (`>= 1`).
+        keys: usize,
+        /// Skew exponent; `0.0` degenerates to uniform, `~0.99` is the
+        /// classic YCSB default. Audited rate knob.
+        theta: f64, // lint:allow(float-nondet) -- audited skew knob, seeded draws only
+    },
+    /// One designated hot key (index 0) takes a fixed probability mass;
+    /// the remaining mass spreads uniformly over the other keys.
+    HotKey {
+        /// Number of keys (`>= 2`).
+        keys: usize,
+        /// Probability mass of the hot key, in `[0, 1]`. Audited knob.
+        hot_mass: f64, // lint:allow(float-nondet) -- audited probability knob, seeded draws only
+    },
+}
+
+impl Keyspace {
+    /// Number of distinct keys in the space.
+    pub fn keys(&self) -> usize {
+        match self {
+            Keyspace::Uniform { keys }
+            | Keyspace::Zipfian { keys, .. }
+            | Keyspace::HotKey { keys, .. } => *keys,
+        }
+    }
+}
+
+/// A prepared sampler: the cumulative mass table is computed once at
+/// construction, so per-draw work is one RNG call plus a binary search
+/// (uniform spaces skip the float path entirely).
+#[derive(Clone, Debug)]
+pub struct KeySampler {
+    keys: usize,
+    /// Cumulative probability mass per key (empty for uniform spaces).
+    cum: Vec<f64>, // lint:allow(float-nondet) -- derived table of the audited knobs above
+}
+
+impl KeySampler {
+    /// Prepares a sampler for `space`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty keyspace, a hot-key space with fewer than two
+    /// keys, or a hot-key mass outside `[0, 1]`.
+    pub fn new(space: &Keyspace) -> Self {
+        let keys = space.keys();
+        assert!(keys >= 1, "keyspace must hold at least one key");
+        let cum = match space {
+            Keyspace::Uniform { .. } => Vec::new(),
+            Keyspace::Zipfian { theta, .. } => {
+                let mut weights: Vec<f64> = (0..keys)
+                    .map(|i| 1.0 / ((i + 1) as f64).powf(*theta))
+                    .collect();
+                let total: f64 = weights.iter().sum();
+                let mut acc = 0.0;
+                for w in &mut weights {
+                    acc += *w / total;
+                    *w = acc;
+                }
+                weights
+            }
+            Keyspace::HotKey { hot_mass, .. } => {
+                assert!(keys >= 2, "hot-key space needs a cold remainder");
+                assert!(
+                    (0.0..=1.0).contains(hot_mass),
+                    "hot_mass not in [0, 1]: {hot_mass}"
+                );
+                let cold = (1.0 - hot_mass) / (keys - 1) as f64;
+                let mut acc = 0.0;
+                (0..keys)
+                    .map(|i| {
+                        acc += if i == 0 { *hot_mass } else { cold };
+                        acc
+                    })
+                    .collect()
+            }
+        };
+        Self { keys, cum }
+    }
+
+    /// Draws the next key index.
+    pub fn sample<R: RngCore>(&self, rng: &mut R) -> usize {
+        if self.cum.is_empty() {
+            return rng.gen_range(0..self.keys);
+        }
+        let u = crate::unit(rng);
+        // First index whose cumulative mass covers the draw. The table is
+        // nondecreasing, so a plain binary search needs no float compare
+        // beyond `<`.
+        let mut lo = 0;
+        let mut hi = self.cum.len() - 1;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.cum[mid] < u {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn uniform_covers_every_key() {
+        let s = KeySampler::new(&Keyspace::Uniform { keys: 8 });
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[s.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn zipfian_zero_theta_is_uniformish() {
+        let s = KeySampler::new(&Keyspace::Zipfian { keys: 4, theta: 0.0 });
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0u32; 4];
+        for _ in 0..4000 {
+            counts[s.sample(&mut rng)] += 1;
+        }
+        for c in counts {
+            assert!((800..1200).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipfian_skews_toward_low_indices() {
+        let s = KeySampler::new(&Keyspace::Zipfian { keys: 16, theta: 1.2 });
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0u32; 16];
+        for _ in 0..4000 {
+            counts[s.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[8] * 4, "{counts:?}");
+    }
+
+    #[test]
+    fn hot_key_takes_its_mass() {
+        let s = KeySampler::new(&Keyspace::HotKey { keys: 10, hot_mass: 0.8 });
+        let mut rng = StdRng::seed_from_u64(9);
+        let hot = (0..5000).filter(|_| s.sample(&mut rng) == 0).count();
+        assert!((3700..4300).contains(&hot), "hot draws = {hot}");
+    }
+
+    #[test]
+    fn samples_stay_in_bounds() {
+        for space in [
+            Keyspace::Uniform { keys: 3 },
+            Keyspace::Zipfian { keys: 3, theta: 0.99 },
+            Keyspace::HotKey { keys: 3, hot_mass: 0.5 },
+        ] {
+            let s = KeySampler::new(&space);
+            let mut rng = StdRng::seed_from_u64(11);
+            for _ in 0..500 {
+                assert!(s.sample(&mut rng) < 3);
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Deterministic virtual-time load generation for NEAT scenarios.
+//!
+//! The paper's test listings drive a handful of globally-ordered client
+//! operations — enough to detect *whether* a fault produces a violation,
+//! never how a fault interacts with *traffic* (retry storms, overload
+//! during a heal, backlog-driven flapping). This crate generates that
+//! traffic without giving up determinism: every schedule is a pure
+//! function of a `u64` seed drawn through the same vendored xoshiro
+//! generator family the simulator world uses, all timestamps are virtual
+//! milliseconds, and latency accounting uses exact integer histograms —
+//! so a sharded `fleet --jobs K` run merges to byte-identical output for
+//! any `K`.
+//!
+//! The pieces:
+//!
+//! - [`keyspace`]: which key the next operation addresses (uniform,
+//!   zipfian, hot-key);
+//! - [`arrival`]: when the next open-loop request arrives (Poisson,
+//!   bursty, rate ramp);
+//! - [`driver`]: the [`Driver`] walking a workload spec — open loop
+//!   (arrivals independent of completions, so overload shows up as
+//!   scheduling lag) or closed loop (N virtual clients with think time);
+//! - [`stats`]: exact nearest-rank percentiles ([`Histogram`]) and the
+//!   mergeable per-run [`LoadReport`].
+//!
+//! The driver is system-agnostic: scenario code in the system crates
+//! pulls [`PlannedOp`]s, executes them against its own client wrapper,
+//! and feeds completions back.
+
+#![deny(missing_docs)]
+
+pub mod arrival;
+pub mod driver;
+pub mod keyspace;
+pub mod stats;
+
+pub use arrival::Arrival;
+pub use driver::{Driver, Mix, OpKind, OpStatus, Pacing, PlannedOp, WorkloadSpec};
+pub use keyspace::{KeySampler, Keyspace};
+pub use stats::{Histogram, LoadReport};
+
+/// A uniform draw in `[0, 1)` from the top 53 bits of a `u64` — the same
+/// idiom the `rand` shim's `gen_bool` uses, so every float in this crate
+/// derives from one integer bit pattern (byte-deterministic everywhere).
+pub(crate) fn unit<R: rand::RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}

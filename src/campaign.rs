@@ -689,6 +689,61 @@ pub fn registry() -> Vec<ScenarioSpec> {
             Some(runner(|sd, rec| s::flapping_link_hang(BrokerFlaws::fixed(), sd, rec))),
         );
     }
+    // --- Load-driven failures (workload::Driver traffic; §2.1 / Table 6) --
+    {
+        use repkv::{load as l, Config};
+        push(
+            "load_retry_storm_gray_loss",
+            "RepKV",
+            "§2.1 retry storm under load",
+            "load-gray-loss",
+            runner(|sd, rec| l::load_retry_storm_gray_loss(true, sd, rec)),
+            Some(runner(|sd, rec| l::load_retry_storm_gray_loss(false, sd, rec))),
+        );
+        push(
+            "load_overload_during_heal",
+            "VoltDB",
+            "ENG-10389 under overload",
+            "load-heal",
+            runner(|sd, rec| l::load_overload_during_heal(Config::voltdb(), sd, rec)),
+            Some(runner(|sd, rec| {
+                l::load_overload_during_heal(Config::fixed(), sd, rec)
+            })),
+        );
+        push(
+            "load_hot_key_partition",
+            "Elasticsearch",
+            "#2488 hot key under load",
+            "load-hot-key",
+            runner(|sd, rec| l::load_hot_key_partition(Config::elasticsearch(), sd, rec)),
+            Some(runner(|sd, rec| {
+                l::load_hot_key_partition(Config::fixed(), sd, rec)
+            })),
+        );
+        push(
+            "load_batched_write_atomicity",
+            "VoltDB",
+            "Table 6 torn batch",
+            "load-batch-simplex",
+            runner(|sd, rec| l::load_batched_write_atomicity(Config::voltdb(), sd, rec)),
+            Some(runner(|sd, rec| {
+                l::load_batched_write_atomicity(Config::fixed(), sd, rec)
+            })),
+        );
+    }
+    {
+        use mqueue::{load as l, BrokerFlaws};
+        push(
+            "load_backlog_leader_flap",
+            "ActiveMQ",
+            "AMQ-7064 under traffic",
+            "load-flapping",
+            runner(|sd, rec| l::load_backlog_leader_flap(BrokerFlaws::flawed(), sd, rec)),
+            Some(runner(|sd, rec| {
+                l::load_backlog_leader_flap(BrokerFlaws::fixed(), sd, rec)
+            })),
+        );
+    }
     specs
 }
 

@@ -20,7 +20,7 @@ fn every_scenario_arm_double_runs_identically() {
         failures.join("\n")
     );
     assert!(
-        outcomes.len() >= 70,
+        outcomes.len() >= 87,
         "registry shrank: only {} arms audited",
         outcomes.len()
     );
@@ -32,6 +32,13 @@ fn every_scenario_arm_double_runs_identically() {
         .filter(|s| s.partition.starts_with("gray") || s.partition == "flapping")
         .count();
     assert!(gray >= 6, "only {gray} gray scenarios registered");
+    // So are the load-driven arms: double-run identity covers the
+    // workload driver's RNG (arrival gaps, key sampling, op mix) too.
+    let load = neat_repro::campaign::registry()
+        .iter()
+        .filter(|s| s.partition.starts_with("load"))
+        .count();
+    assert!(load >= 5, "only {load} load scenarios registered");
 }
 
 /// The audit's streamed FNV-1a hash must equal the hash of the fully

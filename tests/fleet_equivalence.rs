@@ -107,4 +107,46 @@ proptest! {
         );
         prop_assert_eq!(a, b);
     }
+
+    /// The load-driven scenarios thread a second RNG through every run —
+    /// the workload driver's arrival gaps, key sampling, and op mix — so
+    /// they get their own jobs-invariance property: for random seeds,
+    /// both arms' streamed execution hashes must not depend on which
+    /// fleet worker computed them.
+    #[test]
+    fn load_scenario_hashes_are_jobs_invariant(
+        seed in 0u64..10_000,
+        jobs in 2usize..9,
+    ) {
+        // The registry's runner closures are not Sync, so each worker
+        // rebuilds the registry and indexes into its load subset — the
+        // same shape fleet's own campaign entry points use.
+        let n = neat_repro::campaign::registry()
+            .iter()
+            .filter(|s| s.partition.starts_with("load"))
+            .count();
+        prop_assert!(n >= 5, "only {} load scenarios", n);
+        let run = |jobs: usize| -> Vec<String> {
+            fleet::pool::map(jobs, n, |i| {
+                let specs = neat_repro::campaign::registry();
+                let s = specs
+                    .iter()
+                    .filter(|s| s.partition.starts_with("load"))
+                    .nth(i)
+                    .expect("load scenario index");
+                let flawed = (s.flawed)(seed, neat_repro::campaign::RunMode::Hash);
+                let fixed = s
+                    .fixed
+                    .as_ref()
+                    .map(|f| f(seed, neat_repro::campaign::RunMode::Hash));
+                format!(
+                    "{} {:?} {:?}",
+                    s.name,
+                    flawed.fingerprint,
+                    fixed.map(|a| a.fingerprint)
+                )
+            })
+        };
+        prop_assert_eq!(run(1), run(jobs), "load arms diverged at seed {}", seed);
+    }
 }

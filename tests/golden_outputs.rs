@@ -190,6 +190,50 @@ fn perf_bench_artifact_matches_the_registry_shape() {
     }
 }
 
+/// The workload bench runs a million-op ladder, too heavy to regenerate
+/// inside a debug test — but its *shape* must track the registry: every
+/// load-driven scenario present with both arms' verdicts, the op and
+/// latency keys the README points at, and a clean determinism verdict on
+/// the sharded open-loop ladder.
+#[test]
+fn workload_bench_artifact_matches_the_registry_shape() {
+    let json = read("BENCH_workload.json");
+    let expect = |needle: String| {
+        assert!(
+            json.contains(&needle),
+            "BENCH_workload.json lacks `{needle}`; refresh with \
+             `cargo run --release -p bench --bin workload_bench`"
+        );
+    };
+    let load: Vec<_> = neat_repro::campaign::registry()
+        .into_iter()
+        .filter(|s| s.partition.starts_with("load"))
+        .collect();
+    assert!(load.len() >= 5, "only {} load scenarios registered", load.len());
+    expect(format!("\"load_scenarios\": {}", load.len()));
+    for s in &load {
+        expect(format!("\"{}\"", s.name));
+    }
+    for key in [
+        "\"bench\": \"workload\"",
+        "\"seed\": 8",
+        "\"ops\": 1000000",
+        "\"shards\": 8",
+        "\"byte_identical\": true",
+        "\"p50\": ",
+        "\"p99\": ",
+        "\"p999\": ",
+        "\"load_samples\": ",
+        "\"issued=",
+    ] {
+        expect(key.to_string());
+    }
+    assert!(
+        !json.contains("\"byte_identical\": false"),
+        "the sharded ladder diverged across jobs rungs — that is a determinism bug"
+    );
+}
+
 /// The lint-scan counters are a pure function of the committed source
 /// tree (no wall-clock numbers), so the artifact gets the full
 /// byte-for-byte golden treatment: any rule, resolver, or annotation
@@ -218,6 +262,7 @@ fn all_golden_artifacts_exist() {
         "BENCH_gray.json",
         "BENCH_lint.json",
         "BENCH_perf.json",
+        "BENCH_workload.json",
     ] {
         assert!(
             Path::new(&root().join(name)).exists(),
