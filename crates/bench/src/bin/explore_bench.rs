@@ -1,0 +1,37 @@
+//! Regenerates `BENCH_explore.json` at the repo root: the coverage-guided
+//! exploration pipeline at the historical seed 8 — naive vs guided vs
+//! coverage hit rates at equal budget, the sharded-merge invariance
+//! check, and every delta-minimized registry regression with a fresh
+//! 1-minimality proof. Fully deterministic, so the tier-1 golden tests
+//! regenerate the identical bytes in-process.
+//!
+//! ```text
+//! cargo run --release -p bench --bin explore_bench            # writes the artifact
+//! cargo run --release -p bench --bin explore_bench -- --print # JSON to stdout only
+//! ```
+
+use std::io::Write;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let json = bench::reports::explore_machine_json();
+    if std::env::args().skip(1).any(|a| a == "--print") {
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        return match out.write_all(json.as_bytes()).and_then(|()| out.flush()) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("explore_bench: failed to write to stdout: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    // The manifest dir is crates/bench; the artifact lives at the root.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_explore.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("explore_bench: cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {path}");
+    ExitCode::SUCCESS
+}

@@ -634,6 +634,274 @@ pub fn lint_machine_json() -> String {
     format!("{}\n", study::json::pretty(&out))
 }
 
+// --- coverage-guided exploration -----------------------------------------
+
+/// The registry's delta-minimized explorer regressions: every scenario the
+/// exploration pipeline ships carries an `explored*` partition label (so
+/// the gray and load filters above never claim them, and vice versa).
+fn explored_partition(partition: &str) -> bool {
+    partition.starts_with("explored")
+}
+
+/// Trial budget per strategy/target pair — the equal budget at which the
+/// acceptance criterion compares coverage-guided search against naive
+/// random testing.
+const EXPLORE_TRIALS: usize = 30;
+
+/// Base seed of the exploration comparison (the campaign's historical 8).
+const EXPLORE_SEED: u64 = 8;
+
+/// Shard layout of the jobs-invariance check: [`EXPLORE_SHARDS`] shards of
+/// [`EXPLORE_SHARD_TRIALS`] trials each, merged at every jobs rung.
+const EXPLORE_SHARDS: usize = 4;
+
+/// Trials per shard in the jobs-invariance check.
+const EXPLORE_SHARD_TRIALS: usize = 6;
+
+/// Runs one strategy at the standard budget and serializes its report.
+fn push_explore_arm(out: &mut String, label: &str, report: &neat::explore::ExplorationReport) {
+    use std::fmt::Write as _;
+
+    out.push('"');
+    out.push_str(label);
+    out.push_str("\":{\"hits\":");
+    let _ = write!(out, "{}", report.trials_with_violation);
+    out.push_str(",\"first\":");
+    match report.first_violation_trial {
+        Some(t) => {
+            let _ = write!(out, "{t}");
+        }
+        None => out.push_str("null"),
+    }
+    let _ = write!(
+        out,
+        ",\"distinct_kinds\":{},\"signatures\":{},\"kinds\":[",
+        report.distinct_kinds(),
+        report.signatures.len()
+    );
+    for (i, kind) in report.kinds.keys().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        study::json::push_json_str(out, &kind.to_string());
+    }
+    out.push_str("]}");
+}
+
+/// Builds the baked plan for one explored registry scenario at
+/// [`EXPLORE_SEED`] and re-proves its 1-minimality by replay.
+fn explored_plan_facts<T: neat::explore::TestTarget>(
+    mut probe: T,
+    mut target: T,
+    build: impl Fn(&[simnet::NodeId], simnet::NodeId) -> neat::explore::SchedulePlan,
+    kind: neat::ViolationKind,
+) -> (usize, String, bool) {
+    use neat::explore::{minimize::is_one_minimal, run_schedule, SchedulePlan};
+
+    probe.reset(EXPLORE_SEED, false);
+    let servers = probe.servers();
+    let victim = probe.leader().unwrap_or(servers[0]);
+    let plan = build(&servers, victim);
+    let one_minimal = is_one_minimal(&plan.steps, |steps| {
+        target.reset(EXPLORE_SEED, false);
+        run_schedule(&mut target, &SchedulePlan { steps: steps.to_vec() })
+            .iter()
+            .any(|v| v.kind == kind)
+    });
+    (plan.steps.len(), plan.render(), one_minimal)
+}
+
+/// Exact content of `BENCH_explore.json`: the coverage-guided exploration
+/// pipeline measured end to end at the historical seed 8.
+///
+/// Three sections:
+/// - `targets`: naive vs findings-guided vs coverage-guided hit rates and
+///   distinct violation kinds on three real flawed systems at an equal
+///   [`EXPLORE_TRIALS`]-trial budget, with the acceptance verdict
+///   (`coverage_strictly_better_targets >= 2`) computed from the same
+///   numbers the tier-1 test asserts on.
+/// - `sharded`: the fleet's sharded exploration merged at 1, 2, and 4
+///   jobs, compared byte-for-byte.
+/// - `minimized`: every delta-minimized registry regression — both arms'
+///   verdicts at seed 8 plus a fresh 1-minimality proof by replay.
+///
+/// All numbers are virtual-time and seed-pure, so the artifact is fully
+/// deterministic and golden-tested byte-for-byte.
+pub fn explore_machine_json() -> String {
+    use std::fmt::Write as _;
+
+    use neat::explore::{explore, Strategy, TestTarget};
+
+    let kinds = |vs: &[neat::Violation]| {
+        let mut ks: Vec<String> = vs.iter().map(|v| v.kind.to_string()).collect();
+        ks.sort();
+        ks.dedup();
+        ks
+    };
+    let push_kinds = |out: &mut String, ks: &[String]| {
+        out.push('[');
+        for (i, k) in ks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            study::json::push_json_str(out, k);
+        }
+        out.push(']');
+    };
+
+    let mut out = format!(
+        "{{\"bench\":\"explore\",\"seed\":{EXPLORE_SEED},\
+         \"trials_per_strategy\":{EXPLORE_TRIALS},\"targets\":["
+    );
+
+    // Strategy comparison at equal budget on three real flawed systems.
+    type MakeTarget = Box<dyn Fn() -> Box<dyn TestTarget>>;
+    let targets: Vec<(&str, MakeTarget)> = vec![
+        (
+            "repkv-voltdb",
+            Box::new(|| Box::new(repkv::RepkvTarget::new(repkv::Config::voltdb()))),
+        ),
+        (
+            "gridstore-flawed",
+            Box::new(|| Box::new(gridstore::GridTarget::new(gridstore::GridFlaws::flawed()))),
+        ),
+        (
+            "mqueue-flawed",
+            Box::new(|| {
+                Box::new(mqueue::explorer::MqTarget::new(mqueue::BrokerFlaws::flawed()))
+            }),
+        ),
+    ];
+    let mut strictly_better = 0usize;
+    for (i, (name, make)) in targets.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let mut target = make();
+        let naive = explore(target.as_mut(), &Strategy::naive(4), EXPLORE_TRIALS, EXPLORE_SEED);
+        let guided = explore(
+            target.as_mut(),
+            &Strategy::findings_guided(),
+            EXPLORE_TRIALS,
+            EXPLORE_SEED,
+        );
+        let coverage = explore(
+            target.as_mut(),
+            &Strategy::coverage_guided(4),
+            EXPLORE_TRIALS,
+            EXPLORE_SEED,
+        );
+        let beats = coverage.distinct_kinds() > naive.distinct_kinds();
+        strictly_better += usize::from(beats);
+        out.push_str("{\"target\":");
+        study::json::push_json_str(&mut out, name);
+        out.push(',');
+        push_explore_arm(&mut out, "naive", &naive);
+        out.push(',');
+        push_explore_arm(&mut out, "guided", &guided);
+        out.push(',');
+        push_explore_arm(&mut out, "coverage", &coverage);
+        let _ = write!(out, ",\"coverage_beats_naive\":{beats}}}");
+    }
+    let _ = write!(out, "],\"coverage_strictly_better_targets\":{strictly_better}");
+
+    // Sharded merge invariance: serial vs 2 and 4 jobs, byte-for-byte.
+    let make = || repkv::RepkvTarget::new(repkv::Config::voltdb());
+    let strategy = Strategy::coverage_guided(4);
+    let serial = fleet::explore::explore_sharded(
+        1,
+        EXPLORE_SHARDS,
+        EXPLORE_SEED,
+        make,
+        &strategy,
+        EXPLORE_SHARD_TRIALS,
+    );
+    let byte_identical = [2usize, 4].iter().all(|&jobs| {
+        let parallel = fleet::explore::explore_sharded(
+            jobs,
+            EXPLORE_SHARDS,
+            EXPLORE_SEED,
+            make,
+            &strategy,
+            EXPLORE_SHARD_TRIALS,
+        );
+        format!("{parallel:?}") == format!("{serial:?}")
+    });
+    let _ = write!(
+        out,
+        ",\"sharded\":{{\"shards\":{EXPLORE_SHARDS},\
+         \"trials_per_shard\":{EXPLORE_SHARD_TRIALS},\"jobs\":[1,2,4],\
+         \"byte_identical\":{byte_identical},\"corpus\":{},\"finds\":{},\
+         \"signatures\":{}}}",
+        serial.corpus.len(),
+        serial.finds.len(),
+        serial.report.signatures.len(),
+    );
+
+    // Delta-minimized registry regressions: both arms at seed 8 plus a
+    // fresh 1-minimality proof by replay.
+    let specs = neat_repro::campaign::registry();
+    let explored: Vec<&neat_repro::campaign::ScenarioSpec> = specs
+        .iter()
+        .filter(|s| explored_partition(s.partition))
+        .collect();
+    out.push_str(",\"minimized\":[");
+    for (i, s) in explored.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let flawed = (s.flawed)(EXPLORE_SEED, neat_repro::campaign::RunMode::Quick);
+        let fixed = s
+            .fixed
+            .as_ref()
+            .map(|f| f(EXPLORE_SEED, neat_repro::campaign::RunMode::Quick));
+        let (steps, plan, one_minimal) = match s.name {
+            "explored_simplex_leader_write" => explored_plan_facts(
+                repkv::RepkvTarget::new(repkv::Config::voltdb()),
+                repkv::RepkvTarget::new(repkv::Config::voltdb()),
+                repkv::explored::simplex_leader_write_plan,
+                neat::ViolationKind::DataCorruption,
+            ),
+            "explored_simplex_heal_write" => explored_plan_facts(
+                gridstore::GridTarget::new(gridstore::GridFlaws::flawed()),
+                gridstore::GridTarget::new(gridstore::GridFlaws::flawed()),
+                gridstore::explored::simplex_heal_write_plan,
+                neat::ViolationKind::DataLoss,
+            ),
+            "explored_partition_double_dequeue" => explored_plan_facts(
+                mqueue::explorer::MqTarget::new(mqueue::BrokerFlaws::flawed()),
+                mqueue::explorer::MqTarget::new(mqueue::BrokerFlaws::flawed()),
+                mqueue::explored::partition_double_dequeue_plan,
+                neat::ViolationKind::DoubleDequeue,
+            ),
+            other => panic!("explored scenario {other} has no plan builder in the bench"),
+        };
+        out.push_str("{\"scenario\":");
+        study::json::push_json_str(&mut out, s.name);
+        out.push_str(",\"system\":");
+        study::json::push_json_str(&mut out, s.system);
+        out.push_str(",\"partition\":");
+        study::json::push_json_str(&mut out, s.partition);
+        let _ = write!(out, ",\"steps\":{steps},\"plan\":");
+        study::json::push_json_str(&mut out, &plan);
+        out.push_str(",\"flawed\":");
+        push_kinds(&mut out, &kinds(&flawed.violations));
+        out.push_str(",\"fixed\":");
+        push_kinds(
+            &mut out,
+            &fixed.map(|f| kinds(&f.violations)).unwrap_or_default(),
+        );
+        let _ = write!(out, ",\"one_minimal\":{one_minimal}}}");
+    }
+    let _ = write!(
+        out,
+        "],\"minimized_count\":{},\"explored_scenarios\":{}}}",
+        explored.len(),
+        explored.len(),
+    );
+    format!("{}\n", study::json::pretty(&out))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -682,6 +950,43 @@ mod tests {
             .count();
         assert_eq!(headers, neat_repro::campaign::scenario_count());
         assert!(stream.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn explore_machine_json_meets_the_acceptance_criteria() {
+        let json = explore_machine_json();
+        assert!(json.contains("\"bench\": \"explore\""), "{json}");
+        let compact: String = json.chars().filter(|c| !c.is_whitespace()).collect();
+        // Acceptance: coverage-guided search finds strictly more distinct
+        // violation kinds than naive random testing at the same trial
+        // budget on at least two real targets.
+        let better: usize = compact
+            .split("\"coverage_strictly_better_targets\":")
+            .nth(1)
+            .and_then(|s| s.split(',').next())
+            .and_then(|s| s.parse().ok())
+            .expect("coverage_strictly_better_targets present");
+        assert!(better >= 2, "coverage beat naive on {better} targets: {json}");
+        // Sharded exploration must merge byte-identically at every rung.
+        assert!(compact.contains("\"byte_identical\":true"), "{json}");
+        // Every shipped regression is 1-minimal, reproduces when flawed,
+        // and is clean when repaired.
+        assert!(!compact.contains("\"one_minimal\":false"), "{json}");
+        assert!(!compact.contains("\"flawed\":[]"), "{json}");
+        assert!(compact.contains("\"fixed\":[]"), "{json}");
+        let explored: Vec<_> = neat_repro::campaign::registry()
+            .into_iter()
+            .filter(|s| explored_partition(s.partition))
+            .collect();
+        assert!(explored.len() >= 2, "only {} explored scenarios", explored.len());
+        for s in &explored {
+            assert!(json.contains(&format!("\"{}\"", s.name)), "missing {}", s.name);
+        }
+        assert!(
+            compact.contains(&format!("\"minimized_count\":{}", explored.len())),
+            "{json}"
+        );
+        assert!(json.ends_with('\n'));
     }
 
     #[test]

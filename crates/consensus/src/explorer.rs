@@ -8,10 +8,11 @@ use neat::{
     checkers::{check_register, RegisterSemantics},
     explore::{EventChoice, TestTarget},
     fault::PartitionSpec,
+    gray::DegradeSpec,
     Violation,
 };
 use rand::{rngs::StdRng, Rng};
-use simnet::NodeId;
+use simnet::{NodeId, Time};
 
 use crate::{
     cluster::{RaftCluster, RaftClusterSpec},
@@ -47,13 +48,13 @@ impl RaftTarget {
 }
 
 impl TestTarget for RaftTarget {
-    fn reset(&mut self, seed: u64) {
+    fn reset(&mut self, seed: u64, record: bool) {
         let mut cluster = RaftCluster::build(RaftClusterSpec {
             servers: self.servers,
             clients: 2,
             tweaks: self.tweaks,
             seed,
-            record_trace: false,
+            record_trace: record,
         });
         cluster.wait_for_leader(3000);
         self.cluster = Some(cluster);
@@ -76,8 +77,26 @@ impl TestTarget for RaftTarget {
         self.cluster().neat.partition(spec.clone());
     }
 
+    fn degrade(&mut self, spec: &DegradeSpec) {
+        self.cluster().neat.degrade(spec.clone());
+    }
+
+    fn crash(&mut self, nodes: &[NodeId]) {
+        self.cluster().neat.crash(nodes);
+    }
+
+    fn restart(&mut self, nodes: &[NodeId]) {
+        self.cluster().neat.restart(nodes);
+    }
+
+    fn advance(&mut self, ms: Time) {
+        self.cluster().neat.sleep(ms);
+    }
+
     fn heal_all(&mut self) {
-        self.cluster().neat.heal_all();
+        let neat = &mut self.cluster().neat;
+        neat.heal_all();
+        neat.heal_all_degrades();
     }
 
     fn apply_event(&mut self, ev: EventChoice, rng: &mut StdRng) {
@@ -107,6 +126,10 @@ impl TestTarget for RaftTarget {
     fn finish_and_check(&mut self) -> Vec<Violation> {
         let cluster = self.cluster.as_mut().expect("built"); // lint:allow(unwrap-expect)
         cluster.neat.heal_all();
+        cluster.neat.heal_all_degrades();
+        // Bring crashed-but-never-restarted nodes back before judging.
+        let servers = cluster.servers.clone();
+        cluster.neat.restart(&servers);
         cluster.settle(3000);
         let final_state: BTreeMap<String, Option<u64>> = cluster.final_state(&Self::keys());
         check_register(
@@ -114,6 +137,10 @@ impl TestTarget for RaftTarget {
             RegisterSemantics::Strong,
             &final_state,
         )
+    }
+
+    fn timeline(&mut self) -> neat::obs::Timeline {
+        self.cluster().neat.timeline()
     }
 }
 

@@ -6,8 +6,19 @@
 //! runs at different seeds. Each seed is one work item; reports come back
 //! in seed order and merge deterministically via
 //! [`neat::explore::merge_reports`].
+//!
+//! [`explore_sharded`] is the coverage-guided variant: each shard runs a
+//! full [`neat::explore::explore_full`] campaign (its own novelty corpus,
+//! its own finds), and the shard results fold together in shard order —
+//! corpus entries via [`neat::explore::Corpus::merge`], reports via
+//! [`merge_reports`][neat::explore::merge_reports], finds by
+//! concatenation. Because each shard is a pure function of its seed and
+//! the fold order is fixed, the merged result is byte-identical for any
+//! `--jobs`.
 
-use neat::explore::{explore, ExplorationReport, Strategy, TestTarget};
+use neat::explore::{
+    explore, explore_full, merge_reports, Exploration, ExplorationReport, Strategy, TestTarget,
+};
 
 use crate::pool;
 
@@ -31,10 +42,52 @@ where
     })
 }
 
+/// Shards a coverage-guided exploration campaign across the pool and
+/// merges the shard results deterministically.
+///
+/// Shard `i` explores `trials_per_shard` trials at seed
+/// `base_seed + i as u64`; the shard [`Exploration`]s then fold in shard
+/// order: reports merge via [`merge_reports`], corpora via
+/// [`neat::explore::Corpus::merge`] (novelty is re-judged against the
+/// accumulated signature set, so duplicated discoveries collapse), and
+/// finds concatenate. The result is independent of `jobs` — asserted
+/// byte-for-byte by the fleet equivalence suite.
+pub fn explore_sharded<T, F>(
+    jobs: usize,
+    shards: usize,
+    base_seed: u64,
+    make_target: F,
+    strategy: &Strategy,
+    trials_per_shard: usize,
+) -> Exploration
+where
+    T: TestTarget,
+    F: Fn() -> T + Sync,
+{
+    let per_shard: Vec<Exploration> = pool::map(jobs, shards, |i| {
+        let mut target = make_target();
+        explore_full(&mut target, strategy, trials_per_shard, base_seed + i as u64)
+    });
+    merge_explorations(&per_shard)
+}
+
+/// Folds shard explorations in order into one [`Exploration`]. Exposed so
+/// report generators can re-merge or inspect per-shard results.
+pub fn merge_explorations(shards: &[Exploration]) -> Exploration {
+    let mut merged = Exploration {
+        report: merge_reports(shards.iter().map(|e| &e.report)),
+        ..Default::default()
+    };
+    for shard in shards {
+        merged.corpus.merge(&shard.corpus);
+        merged.finds.extend(shard.finds.iter().cloned());
+    }
+    merged
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use neat::explore::merge_reports;
 
     #[test]
     fn sweep_is_jobs_invariant_and_merges_like_serial() {
@@ -51,5 +104,16 @@ mod tests {
         }
         let merged = merge_reports(&parallel);
         assert_eq!(merged.trials, 60);
+    }
+
+    #[test]
+    fn sharded_exploration_is_jobs_invariant() {
+        let strategy = Strategy::coverage_guided(3);
+        let make = || repkv::RepkvTarget::new(repkv::Config::voltdb());
+        let serial = explore_sharded(1, 4, 90, make, &strategy, 6);
+        let parallel = explore_sharded(3, 4, 90, make, &strategy, 6);
+        assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
+        assert_eq!(serial.report.trials, 24);
+        assert!(!serial.corpus.is_empty());
     }
 }

@@ -6,10 +6,11 @@ use neat::{
     checkers::{check_counter, check_queue, check_semaphore, QueueExpectation},
     explore::{EventChoice, TestTarget},
     fault::PartitionSpec,
+    gray::DegradeSpec,
     Violation,
 };
 use rand::{rngs::StdRng, Rng};
-use simnet::NodeId;
+use simnet::{NodeId, Time};
 
 use crate::{
     cluster::{GridClient, GridCluster},
@@ -52,8 +53,8 @@ impl GridTarget {
 }
 
 impl TestTarget for GridTarget {
-    fn reset(&mut self, seed: u64) {
-        let mut cluster = GridCluster::build(3, 2, self.flaws, seed, false);
+    fn reset(&mut self, seed: u64, record: bool) {
+        let mut cluster = GridCluster::build(3, 2, self.flaws, seed, record);
         cluster.settle(200);
         let c0 = cluster.client(0);
         c0.sem_create(&mut cluster.neat, "sem", 1);
@@ -70,7 +71,11 @@ impl TestTarget for GridTarget {
         // The structure primary is the lowest live member; surface it so
         // the guided strategy can isolate it.
         let cluster = self.cluster.as_ref().expect("built"); // lint:allow(unwrap-expect)
-        let s = cluster.servers[0];
+        let s = cluster
+            .servers
+            .iter()
+            .copied()
+            .find(|&s| cluster.neat.world.is_alive(s))?;
         Some(cluster.neat.world.app(s).server().primary())
     }
 
@@ -93,8 +98,28 @@ impl TestTarget for GridTarget {
         cluster.settle(600);
     }
 
+    fn degrade(&mut self, spec: &DegradeSpec) {
+        let cluster = self.cluster();
+        cluster.neat.degrade(spec.clone());
+        cluster.settle(600);
+    }
+
+    fn crash(&mut self, nodes: &[NodeId]) {
+        self.cluster().neat.crash(nodes);
+    }
+
+    fn restart(&mut self, nodes: &[NodeId]) {
+        self.cluster().neat.restart(nodes);
+    }
+
+    fn advance(&mut self, ms: Time) {
+        self.cluster().neat.sleep(ms);
+    }
+
     fn heal_all(&mut self) {
-        self.cluster().neat.heal_all();
+        let neat = &mut self.cluster().neat;
+        neat.heal_all();
+        neat.heal_all_degrades();
     }
 
     fn apply_event(&mut self, ev: EventChoice, rng: &mut StdRng) {
@@ -128,6 +153,10 @@ impl TestTarget for GridTarget {
     fn finish_and_check(&mut self) -> Vec<Violation> {
         let cluster = self.cluster.as_mut().expect("built"); // lint:allow(unwrap-expect)
         cluster.neat.heal_all();
+        cluster.neat.heal_all_degrades();
+        // Bring crashed-but-never-restarted nodes back before judging.
+        let servers = cluster.servers.clone();
+        cluster.neat.restart(&servers);
         cluster.settle(2500);
         let mut violations = check_semaphore(cluster.neat.history(), "sem", 1);
         violations.extend(check_queue(
@@ -145,6 +174,10 @@ impl TestTarget for GridTarget {
             .unwrap_or(0);
         violations.extend(check_counter(cluster.neat.history(), "ctr", 0, final_ctr));
         violations
+    }
+
+    fn timeline(&mut self) -> neat::obs::Timeline {
+        self.cluster().neat.timeline()
     }
 }
 

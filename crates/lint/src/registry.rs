@@ -24,7 +24,13 @@
 //! 8. `BENCH_workload.json` `per_scenario` names and the registry's
 //!    load-driven subset (partition label `load*`) agree in *both*
 //!    directions, every row drove a non-zero operation count, and the
-//!    sharded ladder's `byte_identical` verdict is `true`.
+//!    sharded ladder's `byte_identical` verdict is `true`;
+//! 9. `BENCH_explore.json` `minimized` names and the registry's
+//!    delta-minimized subset (partition label `explored*`) agree in
+//!    *both* directions, every minimized row is still 1-minimal with a
+//!    firing flawed arm and a clean fixed arm, coverage-guided search
+//!    still strictly beats naive on at least two targets, and the
+//!    sharded exploration merge is still byte-identical.
 
 use std::collections::BTreeSet;
 use std::path::Path;
@@ -81,6 +87,7 @@ pub fn check_registry(root: &Path) -> RegistryReport {
     check_internal_references(&registered, &mut findings);
     check_test_references(root, &registered, &mut findings);
     check_workload_bench(root, &mut findings);
+    check_explore_bench(root, &mut findings);
 
     RegistryReport {
         scenarios: registered.len(),
@@ -424,6 +431,115 @@ fn check_workload_bench(root: &Path, findings: &mut Vec<RegistryFinding>) {
             findings,
             ARTIFACT,
             "missing the open_loop byte_identical verdict".to_string(),
+        ),
+    }
+}
+
+/// Check 9: BENCH_explore.json ↔ the registry's delta-minimized subset,
+/// both directions, plus the per-row repro verdicts and the pipeline's
+/// acceptance verdicts. A doctored or rotted artifact fails here: a
+/// ghost regression, a dropped regression, a schedule that is no longer
+/// 1-minimal, a flawed arm that stopped firing, a fixed arm that started
+/// firing, a coverage comparison that fell under the two-target floor,
+/// or a sharded exploration that stopped merging byte-identically.
+fn check_explore_bench(root: &Path, findings: &mut Vec<RegistryFinding>) {
+    const ARTIFACT: &str = "BENCH_explore.json";
+    let explored: BTreeSet<String> = neat_repro::campaign::registry()
+        .iter()
+        .filter(|s| s.partition.starts_with("explored"))
+        .map(|s| s.name.to_string())
+        .collect();
+    let Some(text) = read(root, ARTIFACT, findings) else {
+        return;
+    };
+    let doc = match study::json::parse(&text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            push(findings, ARTIFACT, format!("unparseable: {e}"));
+            return;
+        }
+    };
+    let mut names = BTreeSet::new();
+    for row in doc.get("minimized").and_then(Value::as_array).unwrap_or(&[]) {
+        let Some(name) = row.get("scenario").and_then(Value::as_str) else {
+            continue;
+        };
+        names.insert(name.to_string());
+        if row.get("one_minimal").and_then(Value::as_bool) != Some(true) {
+            push(
+                findings,
+                ARTIFACT,
+                format!("minimized schedule `{name}` is not 1-minimal"),
+            );
+        }
+        if row
+            .get("flawed")
+            .and_then(Value::as_array)
+            .is_none_or(<[Value]>::is_empty)
+        {
+            push(
+                findings,
+                ARTIFACT,
+                format!("minimized schedule `{name}` no longer fires on the flawed arm"),
+            );
+        }
+        if row
+            .get("fixed")
+            .and_then(Value::as_array)
+            .is_none_or(|a| !a.is_empty())
+        {
+            push(
+                findings,
+                ARTIFACT,
+                format!("minimized schedule `{name}` fires on the fixed arm"),
+            );
+        }
+    }
+    for name in explored.difference(&names) {
+        push(
+            findings,
+            ARTIFACT,
+            format!("registered explored scenario `{name}` missing from minimized"),
+        );
+    }
+    for name in names.difference(&explored) {
+        push(
+            findings,
+            ARTIFACT,
+            format!("minimized entry `{name}` is not a registered explored scenario"),
+        );
+    }
+    match doc
+        .get("coverage_strictly_better_targets")
+        .and_then(Value::as_u64)
+    {
+        Some(n) if n >= 2 => {}
+        Some(n) => push(
+            findings,
+            ARTIFACT,
+            format!("coverage-guided search beats naive on only {n} targets (needs >= 2)"),
+        ),
+        None => push(
+            findings,
+            ARTIFACT,
+            "missing the coverage_strictly_better_targets verdict".to_string(),
+        ),
+    }
+    match doc
+        .get("sharded")
+        .and_then(|o| o.get("byte_identical"))
+        .and_then(Value::as_bool)
+    {
+        Some(true) => {}
+        Some(false) => push(
+            findings,
+            ARTIFACT,
+            "the sharded exploration no longer merges byte-identically".to_string(),
+        ),
+        None => push(
+            findings,
+            ARTIFACT,
+            "missing the sharded byte_identical verdict".to_string(),
         ),
     }
 }

@@ -13,6 +13,7 @@ const ARTIFACTS: &[&str] = &[
     "BENCH_perf.json",
     "BENCH_fleet.json",
     "BENCH_workload.json",
+    "BENCH_explore.json",
 ];
 
 fn real_root() -> PathBuf {
@@ -44,8 +45,8 @@ fn messages(report: &lint::RegistryReport) -> String {
 #[test]
 fn real_registry_is_consistent() {
     let report = check_registry(&real_root());
-    assert_eq!(report.scenarios, 44);
-    assert_eq!(report.arms, 87);
+    assert_eq!(report.scenarios, 47);
+    assert_eq!(report.arms, 93);
     assert!(report.findings.is_empty(), "{}", messages(&report));
 }
 
@@ -105,13 +106,13 @@ fn stale_arm_counter_fails() {
     let root = scratch_root("registry_stale_arms");
     let path = root.join("BENCH_fleet.json");
     let text = std::fs::read_to_string(&path).expect("read copy");
-    let tampered = text.replace("\"arms\": 87", "\"arms\": 86");
+    let tampered = text.replace("\"arms\": 93", "\"arms\": 92");
     assert_ne!(text, tampered, "expected arms counter not found");
     std::fs::write(&path, tampered).expect("write tampered copy");
 
     let msgs = messages(&check_registry(&root));
     assert!(
-        msgs.contains("BENCH_fleet.json: records 86 arms; the registry has 87"),
+        msgs.contains("BENCH_fleet.json: records 92 arms; the registry has 93"),
         "{msgs}"
     );
 }
@@ -173,6 +174,81 @@ fn broken_ladder_determinism_verdict_fails() {
     let msgs = messages(&check_registry(&root));
     assert!(
         msgs.contains("the sharded open-loop ladder no longer merges byte-identically"),
+        "{msgs}"
+    );
+}
+
+#[test]
+fn renamed_explored_scenario_fails_in_both_directions() {
+    let root = scratch_root("registry_explore_renamed");
+    let path = root.join("BENCH_explore.json");
+    let text = std::fs::read_to_string(&path).expect("read copy");
+    let tampered = text.replace(
+        "explored_simplex_heal_write",
+        "explored_simplex_heal_write_v2",
+    );
+    assert_ne!(text, tampered, "expected explored scenario not found");
+    std::fs::write(&path, tampered).expect("write tampered copy");
+
+    let msgs = messages(&check_registry(&root));
+    assert!(
+        msgs.contains(
+            "registered explored scenario `explored_simplex_heal_write` missing from minimized"
+        ),
+        "{msgs}"
+    );
+    assert!(
+        msgs.contains(
+            "minimized entry `explored_simplex_heal_write_v2` is not a registered explored scenario"
+        ),
+        "{msgs}"
+    );
+}
+
+#[test]
+fn broken_one_minimality_verdict_fails() {
+    let root = scratch_root("registry_explore_minimality");
+    let path = root.join("BENCH_explore.json");
+    let text = std::fs::read_to_string(&path).expect("read copy");
+    let tampered = text.replace("\"one_minimal\": true", "\"one_minimal\": false");
+    assert_ne!(text, tampered, "expected one_minimal verdicts not found");
+    std::fs::write(&path, tampered).expect("write tampered copy");
+
+    let msgs = messages(&check_registry(&root));
+    assert!(msgs.contains("is not 1-minimal"), "{msgs}");
+}
+
+#[test]
+fn fallen_coverage_verdict_fails() {
+    let root = scratch_root("registry_explore_coverage");
+    let path = root.join("BENCH_explore.json");
+    let text = std::fs::read_to_string(&path).expect("read copy");
+    let tampered = text.replace(
+        "\"coverage_strictly_better_targets\": 2",
+        "\"coverage_strictly_better_targets\": 1",
+    );
+    assert_ne!(text, tampered, "expected coverage verdict not found");
+    std::fs::write(&path, tampered).expect("write tampered copy");
+
+    let msgs = messages(&check_registry(&root));
+    assert!(
+        msgs.contains("coverage-guided search beats naive on only 1 targets"),
+        "{msgs}"
+    );
+}
+
+#[test]
+fn broken_sharded_exploration_verdict_fails() {
+    let root = scratch_root("registry_explore_sharded");
+    let path = root.join("BENCH_explore.json");
+    let text = std::fs::read_to_string(&path).expect("read copy");
+    let tampered = text.replace("\"byte_identical\": true", "\"byte_identical\": false");
+    assert_ne!(text, tampered, "expected sharded verdict not found");
+    std::fs::write(&path, tampered).expect("write tampered copy");
+
+    let msgs = messages(&check_registry(&root));
+    assert!(
+        msgs.contains("the sharded exploration no longer merges byte-identically"),
         "{msgs}"
     );
 }

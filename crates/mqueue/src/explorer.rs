@@ -1,0 +1,191 @@
+//! A [`TestTarget`] adapter for the coordinator-mode message queue: the
+//! explorer drives enqueue/dequeue workloads against master/replica
+//! brokers whose mastership lives in the embedded coordination ensemble —
+//! the architecture behind the paper's ActiveMQ and RabbitMQ failures.
+
+use coord::CoordFlaws;
+use neat::{
+    checkers::{check_queue, QueueExpectation},
+    explore::{EventChoice, TestTarget},
+    fault::PartitionSpec,
+    gray::DegradeSpec,
+    Violation,
+};
+use rand::{rngs::StdRng, Rng};
+use simnet::{NodeId, Time};
+
+use crate::{broker::BrokerFlaws, cluster::MqCluster};
+
+/// The queue every explorer event targets.
+const QUEUE: &str = "q";
+
+/// Drives a three-broker coordinator-mode deployment under
+/// explorer-generated faults and events.
+pub struct MqTarget {
+    flaws: BrokerFlaws,
+    cluster: Option<MqCluster>,
+    next_val: u64,
+}
+
+impl MqTarget {
+    /// Creates an adapter running brokers with `flaws`.
+    pub fn new(flaws: BrokerFlaws) -> Self {
+        Self {
+            flaws,
+            cluster: None,
+            next_val: 0,
+        }
+    }
+
+    fn cluster(&mut self) -> &mut MqCluster {
+        self.cluster.as_mut().expect("reset() builds the cluster") // lint:allow(unwrap-expect)
+    }
+}
+
+impl TestTarget for MqTarget {
+    fn reset(&mut self, seed: u64, record: bool) {
+        let mut cluster = MqCluster::build(3, self.flaws, CoordFlaws::default(), seed, record);
+        cluster.wait_for_master(3000, None);
+        self.cluster = Some(cluster);
+        self.next_val = 0;
+    }
+
+    fn servers(&self) -> Vec<NodeId> {
+        // Coordinator plus brokers: the paper's queue failures all hinge
+        // on splitting a master away from the coordination ensemble, so
+        // the coord node must be partitionable.
+        let cluster = self.cluster.as_ref().expect("built"); // lint:allow(unwrap-expect)
+        let mut nodes = vec![cluster.coord];
+        nodes.extend_from_slice(&cluster.brokers);
+        nodes
+    }
+
+    fn leader(&mut self) -> Option<NodeId> {
+        self.cluster().master()
+    }
+
+    fn supported_events(&self) -> Vec<EventChoice> {
+        vec![EventChoice::Enqueue, EventChoice::Dequeue]
+    }
+
+    fn inject(&mut self, spec: &PartitionSpec) {
+        let cluster = self.cluster();
+        cluster.neat.partition(spec.clone());
+        // Let mastership churn past the coordination session timeout, as
+        // the hand-written scenarios do.
+        cluster.settle(600);
+    }
+
+    fn degrade(&mut self, spec: &DegradeSpec) {
+        let cluster = self.cluster();
+        cluster.neat.degrade(spec.clone());
+        cluster.settle(600);
+    }
+
+    fn crash(&mut self, nodes: &[NodeId]) {
+        self.cluster().neat.crash(nodes);
+    }
+
+    fn restart(&mut self, nodes: &[NodeId]) {
+        self.cluster().neat.restart(nodes);
+    }
+
+    fn advance(&mut self, ms: Time) {
+        self.cluster().neat.sleep(ms);
+    }
+
+    fn heal_all(&mut self) {
+        let neat = &mut self.cluster().neat;
+        neat.heal_all();
+        neat.heal_all_degrades();
+    }
+
+    fn apply_event(&mut self, ev: EventChoice, rng: &mut StdRng) {
+        self.next_val += 1;
+        let val = self.next_val;
+        let cluster = self.cluster.as_mut().expect("built"); // lint:allow(unwrap-expect)
+        // Clients talk to the broker they believe is master — under a
+        // partition the two clients may disagree, which is the point.
+        let broker = cluster
+            .master()
+            .unwrap_or(cluster.brokers[rng.gen_range(0..cluster.brokers.len())]);
+        let which = rng.gen_range(0..cluster.clients.len());
+        let client = cluster.client(which);
+        match ev {
+            EventChoice::Enqueue => {
+                client.send(&mut cluster.neat, broker, QUEUE, val);
+            }
+            EventChoice::Dequeue => {
+                client.recv(&mut cluster.neat, broker, QUEUE);
+            }
+            _ => {}
+        }
+    }
+
+    fn finish_and_check(&mut self) -> Vec<Violation> {
+        let cluster = self.cluster.as_mut().expect("built"); // lint:allow(unwrap-expect)
+        cluster.neat.heal_all();
+        cluster.neat.heal_all_degrades();
+        let mut nodes = vec![cluster.coord];
+        nodes.extend_from_slice(&cluster.brokers);
+        cluster.neat.restart(&nodes);
+        cluster.settle(2500);
+        // Drain through the settled master so the checker knows the final
+        // queue contents; an incomplete drain leaves `drained: None`.
+        let drained = cluster.master().map(|m| {
+            let c = cluster.client(0);
+            c.drain(&mut cluster.neat, m, QUEUE)
+        });
+        check_queue(
+            cluster.neat.history(),
+            &[QueueExpectation {
+                key: QUEUE.into(),
+                drained: drained.and_then(|(vals, complete)| complete.then_some(vals)),
+            }],
+        )
+    }
+
+    fn timeline(&mut self) -> neat::obs::Timeline {
+        self.cluster().neat.timeline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neat::explore::{explore, Strategy};
+
+    #[test]
+    fn exploration_finds_bugs_in_the_flawed_brokers() {
+        let mut target = MqTarget::new(BrokerFlaws::flawed());
+        let report = explore(&mut target, &Strategy::coverage_guided(3), 25, 1);
+        assert!(
+            report.trials_with_violation > 0,
+            "coverage exploration should hit the broker flaws: {report:?}"
+        );
+        assert!(
+            report.kinds.contains_key(&neat::ViolationKind::DoubleDequeue),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn fixed_brokers_survive_exploration() {
+        let mut target = MqTarget::new(BrokerFlaws::fixed());
+        let report = explore(&mut target, &Strategy::findings_guided(), 10, 7);
+        assert_eq!(
+            report.trials_with_violation, 0,
+            "fixed brokers must stay clean: {report:?}"
+        );
+    }
+
+    #[test]
+    fn target_resets_cleanly_between_trials() {
+        let mut target = MqTarget::new(BrokerFlaws::fixed());
+        target.reset(1, false);
+        assert_eq!(target.servers().len(), 4, "coord + three brokers");
+        assert!(target.leader().is_some());
+        target.reset(2, true);
+        assert_eq!(target.servers().len(), 4);
+    }
+}

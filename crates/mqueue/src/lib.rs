@@ -13,6 +13,8 @@
 pub mod autocluster;
 pub mod broker;
 pub mod cluster;
+pub mod explored;
+pub mod explorer;
 pub mod load;
 pub mod scenarios;
 

@@ -6,31 +6,57 @@
 //! isolating a single node — most effectively the leader (Finding 9,
 //! Table 10) — and events follow a natural order (lock before unlock, write
 //! before read). [`Strategy::findings_guided`] encodes exactly those rules;
-//! [`Strategy::naive`] is the uniform-random baseline. The `exploration`
-//! bench compares their bug-finding efficiency, reproducing the paper's
-//! testability claim (Finding 13).
+//! [`Strategy::naive`] is the uniform-random baseline; and
+//! [`Strategy::coverage_guided`] layers AFL-style novelty feedback on top:
+//! every trial is a typed [`SchedulePlan`] (composite partitions, gray
+//! degradations, crash/restart, mid-schedule heal, client events in virtual
+//! time), its [`obs::Timeline`] is folded into a [`Signature`], and plans
+//! that reached an unseen signature become mutation seeds in a [`Corpus`].
+//! Violating plans are shrunk to 1-minimal repros by [`minimize`]. The
+//! `exploration` bench and `explore_bench` compare the three strategies'
+//! bug-finding efficiency, reproducing the paper's testability claim
+//! (Finding 13).
 
-use std::collections::BTreeMap;
+#![deny(missing_docs)]
 
-use rand::{rngs::StdRng, seq::SliceRandom, Rng, SeedableRng};
-use simnet::NodeId;
+pub mod coverage;
+pub mod minimize;
+pub mod schedule;
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rand::{rngs::StdRng, seq::SliceRandom, Rng, RngCore, SeedableRng};
+use simnet::{DegradeRule, NodeId, Time};
 
 use crate::{
     checkers::{Violation, ViolationKind},
     fault::{rest_of, PartitionKind, PartitionSpec},
+    gray::DegradeSpec,
 };
+
+pub use coverage::{Corpus, Signature};
+pub use schedule::{run_schedule, SchedulePlan, ScheduleStep};
 
 /// The client/admin event palette of the paper's Table 8.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum EventChoice {
+    /// Write a value to a key/register.
     Write,
+    /// Read a key/register back.
     Read,
+    /// Delete a key.
     Delete,
+    /// Acquire a lock or semaphore.
     Acquire,
+    /// Release a lock or semaphore.
     Release,
+    /// Enqueue a message.
     Enqueue,
+    /// Dequeue a message.
     Dequeue,
+    /// Admin operation: add a node to the cluster.
     AdminAddNode,
+    /// Admin operation: remove a node from the cluster.
     AdminRemoveNode,
 }
 
@@ -45,6 +71,21 @@ impl EventChoice {
             EventChoice::AdminAddNode | EventChoice::AdminRemoveNode => 3,
         }
     }
+
+    /// Compact label used when rendering schedules.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventChoice::Write => "write",
+            EventChoice::Read => "read",
+            EventChoice::Delete => "delete",
+            EventChoice::Acquire => "acquire",
+            EventChoice::Release => "release",
+            EventChoice::Enqueue => "enqueue",
+            EventChoice::Dequeue => "dequeue",
+            EventChoice::AdminAddNode => "admin-add",
+            EventChoice::AdminRemoveNode => "admin-remove",
+        }
+    }
 }
 
 /// A system adapter the explorer can drive.
@@ -53,10 +94,14 @@ impl EventChoice {
 /// build a fresh cluster on [`TestTarget::reset`], translate
 /// [`EventChoice`]s into real client calls (picking keys/values/clients with
 /// the supplied RNG), and run their checkers in
-/// [`TestTarget::finish_and_check`].
+/// [`TestTarget::finish_and_check`]. The crash/restart/degrade/advance
+/// methods default to no-ops so toy targets stay small; real adapters
+/// override them to expose the full nemesis vocabulary to the scheduler.
 pub trait TestTarget {
-    /// Rebuilds the system from scratch with the given seed.
-    fn reset(&mut self, seed: u64);
+    /// Rebuilds the system from scratch with the given seed. `record`
+    /// asks for a recorded [`obs::Timeline`] — the coverage explorer needs
+    /// one to extract [`Signature`]s; plain replay does not.
+    fn reset(&mut self, seed: u64, record: bool);
     /// Server nodes eligible for partitioning.
     fn servers(&self) -> Vec<NodeId>;
     /// Best-effort current leader, if the system has one.
@@ -65,12 +110,26 @@ pub trait TestTarget {
     fn supported_events(&self) -> Vec<EventChoice>;
     /// Injects a partition.
     fn inject(&mut self, spec: &PartitionSpec);
-    /// Heals every injected partition.
+    /// Installs a gray degradation (default: unsupported, no-op).
+    fn degrade(&mut self, _spec: &DegradeSpec) {}
+    /// Crashes the given nodes (default: unsupported, no-op).
+    fn crash(&mut self, _nodes: &[NodeId]) {}
+    /// Restarts the given nodes (default: unsupported, no-op).
+    fn restart(&mut self, _nodes: &[NodeId]) {}
+    /// Advances virtual time by `ms` (default: no-op).
+    fn advance(&mut self, _ms: Time) {}
+    /// Heals every injected partition and degradation.
     fn heal_all(&mut self);
     /// Applies one client/admin event.
     fn apply_event(&mut self, ev: EventChoice, rng: &mut StdRng);
     /// Heals (if not already healed), quiesces, runs checkers.
     fn finish_and_check(&mut self) -> Vec<Violation>;
+    /// The observability timeline of the trial that just finished.
+    /// Meaningful after [`TestTarget::finish_and_check`] on a target reset
+    /// with `record: true`; the default returns an empty timeline.
+    fn timeline(&mut self) -> obs::Timeline {
+        obs::Timeline::default()
+    }
 }
 
 /// Knobs of the test-case generator.
@@ -87,6 +146,16 @@ pub struct Strategy {
     pub kinds: Vec<PartitionKind>,
     /// Sort events into their natural order (write before read, …).
     pub natural_order: bool,
+    /// Percent chance (0–100) of scheduling a heal *mid-trial*, after the
+    /// partition — Table 9 manifestation sequences include heal before
+    /// the triggering op.
+    pub heal_percent: u8,
+    /// Percent chance (0–100) of splicing a composite nemesis into the
+    /// plan: a gray degradation, a crash/restart pair, or a pause.
+    pub composite_percent: u8,
+    /// Feed trial signatures into a novelty [`Corpus`] and mutate kept
+    /// schedules instead of always generating fresh ones.
+    pub coverage_guided: bool,
 }
 
 impl Strategy {
@@ -102,6 +171,9 @@ impl Strategy {
                 PartitionKind::Simplex,
             ],
             natural_order: true,
+            heal_percent: 30,
+            composite_percent: 0,
+            coverage_guided: false,
         }
     }
 
@@ -118,6 +190,28 @@ impl Strategy {
                 PartitionKind::Simplex,
             ],
             natural_order: false,
+            heal_percent: 25,
+            composite_percent: 0,
+            coverage_guided: false,
+        }
+    }
+
+    /// Coverage-guided search: the naive generator for fresh plans, the
+    /// full composite nemesis vocabulary, and novelty-corpus mutation.
+    pub fn coverage_guided(max_events: usize) -> Self {
+        Self {
+            partition_first: false,
+            max_events,
+            isolate_leader: false,
+            kinds: vec![
+                PartitionKind::Complete,
+                PartitionKind::Partial,
+                PartitionKind::Simplex,
+            ],
+            natural_order: false,
+            heal_percent: 25,
+            composite_percent: 50,
+            coverage_guided: true,
         }
     }
 }
@@ -133,6 +227,8 @@ pub struct ExplorationReport {
     pub first_violation_trial: Option<usize>,
     /// Violations per kind, across all trials.
     pub kinds: BTreeMap<ViolationKind, usize>,
+    /// Distinct coverage signatures reached across all trials.
+    pub signatures: BTreeSet<Signature>,
 }
 
 impl ExplorationReport {
@@ -144,13 +240,46 @@ impl ExplorationReport {
             self.trials_with_violation as f64 / self.trials as f64
         }
     }
+
+    /// Number of distinct [`ViolationKind`]s found — the metric the
+    /// acceptance bench compares across strategies at equal budget.
+    pub fn distinct_kinds(&self) -> usize {
+        self.kinds.len()
+    }
+}
+
+/// A violating trial: the schedule, the seed that reproduces it, and the
+/// distinct verdict kinds it produced. Feed to
+/// [`minimize::minimize_for_kind`] to shrink.
+#[derive(Clone, Debug)]
+pub struct Find {
+    /// The schedule that tripped a checker.
+    pub plan: SchedulePlan,
+    /// The trial seed: `reset(trial_seed, _)` + replay reproduces it.
+    pub trial_seed: u64,
+    /// Distinct verdict kinds, sorted.
+    pub kinds: Vec<ViolationKind>,
+}
+
+/// Full result of a coverage-guided exploration: the tallies, the novelty
+/// corpus (for sharded merge and further fuzzing), and every violating
+/// schedule with its repro seed.
+#[derive(Clone, Debug, Default)]
+pub struct Exploration {
+    /// Aggregate tallies, as [`explore`] returns.
+    pub report: ExplorationReport,
+    /// Schedules that reached novel signatures, in discovery order.
+    pub corpus: Corpus,
+    /// Violating schedules with repro seeds, in trial order.
+    pub finds: Vec<Find>,
 }
 
 /// Merges per-seed reports (in sweep order) into the report a single
 /// serial run over the concatenated trial sequence would have produced:
-/// trial counts and per-kind tallies sum, and the first failing trial is
-/// offset by the trials of the reports before it. Used by the fleet to
-/// reduce parallel exploration sweeps deterministically.
+/// trial counts, per-kind tallies, and signature sets sum/union, and the
+/// first failing trial is offset by the trials of the reports before it.
+/// Used by the fleet to reduce parallel exploration sweeps
+/// deterministically.
 pub fn merge_reports<'a, I>(reports: I) -> ExplorationReport
 where
     I: IntoIterator<Item = &'a ExplorationReport>,
@@ -166,6 +295,9 @@ where
         merged.trials_with_violation += r.trials_with_violation;
         for (kind, count) in &r.kinds {
             *merged.kinds.entry(*kind).or_default() += count;
+        }
+        for sig in &r.signatures {
+            merged.signatures.insert(sig.clone());
         }
     }
     merged
@@ -210,16 +342,215 @@ fn choose_spec(
     }
 }
 
-/// Runs `trials` generated test cases against `target` and tallies the
-/// violations found.
-pub fn explore(
+/// The gray-rule menu the composite generator draws from.
+fn random_degrade(servers: &[NodeId], victim: NodeId, rng: &mut StdRng) -> DegradeSpec {
+    let others = rest_of(servers, &[victim]);
+    let rule = match rng.gen_range(0..3u32) {
+        0 => DegradeRule::lossy(0.5),
+        1 => DegradeRule::lossy(1.0),
+        _ => DegradeRule::duplicating(1.0),
+    };
+    if rng.gen_bool(0.25) {
+        DegradeSpec::flapping(vec![victim], others, rule, 400)
+    } else {
+        DegradeSpec::Partial {
+            a: vec![victim],
+            b: others,
+            rule,
+        }
+    }
+}
+
+/// A composite nemesis fragment: degrade, crash/sleep/restart, or a pause.
+fn composite_fragment(servers: &[NodeId], rng: &mut StdRng) -> Vec<ScheduleStep> {
+    let victim = servers[rng.gen_range(0..servers.len())];
+    match rng.gen_range(0..4u32) {
+        0 | 1 => vec![ScheduleStep::Degrade(random_degrade(servers, victim, rng))],
+        2 => vec![
+            ScheduleStep::Crash(vec![victim]),
+            ScheduleStep::Sleep(300),
+            ScheduleStep::Restart(vec![victim]),
+        ],
+        _ => vec![ScheduleStep::Sleep(rng.gen_range(200..=800))],
+    }
+}
+
+/// One random step of any kind — the mutation operator's raw material.
+fn random_step(
+    strategy: &Strategy,
+    servers: &[NodeId],
+    leader: Option<NodeId>,
+    palette: &[EventChoice],
+    rng: &mut StdRng,
+) -> ScheduleStep {
+    match rng.gen_range(0..6u32) {
+        0 => {
+            let kind = strategy.kinds[rng.gen_range(0..strategy.kinds.len())];
+            ScheduleStep::Partition(choose_spec(
+                kind,
+                servers,
+                leader,
+                strategy.isolate_leader,
+                rng,
+            ))
+        }
+        1 => {
+            let victim = servers[rng.gen_range(0..servers.len())];
+            ScheduleStep::Degrade(random_degrade(servers, victim, rng))
+        }
+        2 => ScheduleStep::Heal,
+        3 => ScheduleStep::Sleep(rng.gen_range(100..=800)),
+        4 if !palette.is_empty() => {
+            ScheduleStep::Client(palette[rng.gen_range(0..palette.len())], rng.next_u64())
+        }
+        _ => {
+            let victim = servers[rng.gen_range(0..servers.len())];
+            vec![
+                ScheduleStep::Crash(vec![victim]),
+                ScheduleStep::Restart(vec![victim]),
+            ]
+            .swap_remove(rng.gen_range(0..2))
+        }
+    }
+}
+
+/// Generates a fresh [`SchedulePlan`] under `strategy`.
+///
+/// The base shape is the PR-3 generator — pick a partition spec, draw up
+/// to `max_events` client events (satellite fix: the draw is from the
+/// *configured* bound, not silently capped by palette size), sort them
+/// into natural order when asked, inject first or at a random position —
+/// extended with a mid-schedule heal (`heal_percent`) and composite
+/// nemesis fragments (`composite_percent`).
+pub fn generate_plan(
+    strategy: &Strategy,
+    servers: &[NodeId],
+    leader: Option<NodeId>,
+    palette: &[EventChoice],
+    rng: &mut StdRng,
+) -> SchedulePlan {
+    let kind = strategy.kinds[rng.gen_range(0..strategy.kinds.len())];
+    let spec = choose_spec(kind, servers, leader, strategy.isolate_leader, rng);
+
+    let n_events = if palette.is_empty() {
+        0
+    } else {
+        rng.gen_range(0..=strategy.max_events)
+    };
+    let mut events: Vec<(EventChoice, u64)> = (0..n_events)
+        .map(|_| (palette[rng.gen_range(0..palette.len())], rng.next_u64()))
+        .collect();
+    if strategy.natural_order {
+        // Stable sort: equal-rank events keep their drawn order and seeds.
+        events.sort_by_key(|(ev, _)| ev.natural_rank());
+    }
+
+    let inject_at = if strategy.partition_first {
+        0
+    } else {
+        rng.gen_range(0..=events.len())
+    };
+
+    let mut steps: Vec<ScheduleStep> = Vec::with_capacity(events.len() + 3);
+    let mut partition_at = None;
+    for (i, (ev, op_seed)) in events.iter().enumerate() {
+        if i == inject_at {
+            partition_at = Some(steps.len());
+            steps.push(ScheduleStep::Partition(spec.clone()));
+        }
+        steps.push(ScheduleStep::Client(*ev, *op_seed));
+    }
+    if partition_at.is_none() {
+        partition_at = Some(steps.len());
+        steps.push(ScheduleStep::Partition(spec));
+    }
+
+    // Satellite fix: heal as a schedulable mid-trial event (Table 9).
+    if rng.gen_range(0..100u32) < u32::from(strategy.heal_percent) {
+        let after = partition_at.unwrap_or(0) + 1;
+        let at = rng.gen_range(after.min(steps.len())..=steps.len());
+        steps.insert(at, ScheduleStep::Heal);
+    }
+
+    if rng.gen_range(0..100u32) < u32::from(strategy.composite_percent) {
+        let fragment = composite_fragment(servers, rng);
+        let at = rng.gen_range(0..=steps.len());
+        for (k, step) in fragment.into_iter().enumerate() {
+            steps.insert(at + k, step);
+        }
+    }
+
+    SchedulePlan { steps }
+}
+
+/// Mutates a corpus schedule: 1–2 edits from {insert random step, remove a
+/// step, swap two steps, replace a step, re-seed a client event}.
+pub fn mutate_plan(
+    plan: &SchedulePlan,
+    strategy: &Strategy,
+    servers: &[NodeId],
+    leader: Option<NodeId>,
+    palette: &[EventChoice],
+    rng: &mut StdRng,
+) -> SchedulePlan {
+    let mut steps = plan.steps.clone();
+    let edits = rng.gen_range(1..=2u32);
+    for _ in 0..edits {
+        match rng.gen_range(0..5u32) {
+            0 => {
+                let step = random_step(strategy, servers, leader, palette, rng);
+                let at = rng.gen_range(0..=steps.len());
+                steps.insert(at, step);
+            }
+            1 if !steps.is_empty() => {
+                steps.remove(rng.gen_range(0..steps.len()));
+            }
+            2 if steps.len() >= 2 => {
+                let a = rng.gen_range(0..steps.len());
+                let b = rng.gen_range(0..steps.len());
+                steps.swap(a, b);
+            }
+            3 if !steps.is_empty() => {
+                let at = rng.gen_range(0..steps.len());
+                steps[at] = random_step(strategy, servers, leader, palette, rng);
+            }
+            4 => {
+                let clients: Vec<usize> = steps
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| matches!(s, ScheduleStep::Client(..)))
+                    .map(|(i, _)| i)
+                    .collect();
+                if let Some(&at) = clients.get(rng.gen_range(0..clients.len().max(1))) {
+                    if let ScheduleStep::Client(ev, _) = steps[at] {
+                        steps[at] = ScheduleStep::Client(ev, rng.next_u64());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    SchedulePlan { steps }
+}
+
+/// Runs `trials` generated test cases against `target`, tallying
+/// violations, collecting the novelty corpus, and recording every
+/// violating schedule with its repro seed.
+///
+/// Trial seeds derive from `(seed, trial index)` alone, so a run is a
+/// pure function of `(target construction, strategy, trials, seed)` —
+/// the property sharded sweeps and the minimizer both lean on.
+pub fn explore_full(
     target: &mut dyn TestTarget,
     strategy: &Strategy,
     trials: usize,
     seed: u64,
-) -> ExplorationReport {
-    let mut report = ExplorationReport {
-        trials,
+) -> Exploration {
+    let mut out = Exploration {
+        report: ExplorationReport {
+            trials,
+            ..Default::default()
+        },
         ..Default::default()
     };
     for trial in 0..trials {
@@ -227,53 +558,61 @@ pub fn explore(
             .wrapping_mul(0x9e37_79b9_7f4a_7c15)
             .wrapping_add(trial as u64);
         let mut rng = StdRng::seed_from_u64(trial_seed);
-        target.reset(trial_seed);
+        // Recording is only needed when signatures feed the corpus.
+        target.reset(trial_seed, strategy.coverage_guided);
 
         let servers = target.servers();
         if servers.is_empty() {
             continue;
         }
-        let kind = strategy.kinds[rng.gen_range(0..strategy.kinds.len())];
         let leader = target.leader();
-        let spec = choose_spec(kind, &servers, leader, strategy.isolate_leader, &mut rng);
-
         let palette = target.supported_events();
-        let n_events = rng.gen_range(0..=strategy.max_events.min(palette.len().max(1) * 2));
-        let mut events: Vec<EventChoice> = (0..n_events)
-            .map(|_| palette[rng.gen_range(0..palette.len())])
-            .collect();
-        if strategy.natural_order {
-            events.sort_by_key(EventChoice::natural_rank);
-        }
 
-        let inject_at = if strategy.partition_first {
-            0
+        let plan = if strategy.coverage_guided
+            && !out.corpus.is_empty()
+            && rng.gen_range(0..100u32) < 60
+        {
+            let base = out.corpus.pick(&mut rng).cloned().unwrap_or_default();
+            mutate_plan(&base, strategy, &servers, leader, &palette, &mut rng)
         } else {
-            rng.gen_range(0..=events.len())
+            generate_plan(strategy, &servers, leader, &palette, &mut rng)
         };
 
-        let mut injected = false;
-        for (i, ev) in events.iter().enumerate() {
-            if i == inject_at {
-                target.inject(&spec);
-                injected = true;
-            }
-            target.apply_event(*ev, &mut rng);
-        }
-        if !injected {
-            target.inject(&spec);
-        }
+        let violations = run_schedule(target, &plan);
+        let timeline = target.timeline();
+        let sig = Signature::of(&timeline, &violations);
+        out.report.signatures.insert(sig.clone());
+        out.corpus.observe(&plan, sig);
 
-        let violations = target.finish_and_check();
         if !violations.is_empty() {
-            report.trials_with_violation += 1;
-            report.first_violation_trial.get_or_insert(trial + 1);
-            for v in violations {
-                *report.kinds.entry(v.kind).or_default() += 1;
+            out.report.trials_with_violation += 1;
+            out.report.first_violation_trial.get_or_insert(trial + 1);
+            let mut kinds: Vec<ViolationKind> = violations.iter().map(|v| v.kind).collect();
+            for v in &violations {
+                *out.report.kinds.entry(v.kind).or_default() += 1;
             }
+            kinds.sort();
+            kinds.dedup();
+            out.finds.push(Find {
+                plan,
+                trial_seed,
+                kinds,
+            });
         }
     }
-    report
+    out
+}
+
+/// Runs `trials` generated test cases against `target` and tallies the
+/// violations found. Thin wrapper over [`explore_full`] for callers that
+/// only need the report.
+pub fn explore(
+    target: &mut dyn TestTarget,
+    strategy: &Strategy,
+    trials: usize,
+    seed: u64,
+) -> ExplorationReport {
+    explore_full(target, strategy, trials, seed).report
 }
 
 /// Draws a random non-trivial bipartition of `servers` — exposed for
@@ -316,7 +655,7 @@ mod tests {
     }
 
     impl TestTarget for ToyTarget {
-        fn reset(&mut self, _seed: u64) {
+        fn reset(&mut self, _seed: u64, _record: bool) {
             *self = ToyTarget::new();
         }
         fn servers(&self) -> Vec<NodeId> {
@@ -356,6 +695,93 @@ mod tests {
         }
     }
 
+    /// Satellite regression: a bug that manifests only when the heal
+    /// itself happens mid-schedule — partition, heal, then a write *after*
+    /// the heal (Table 9's heal-before-triggering-op shape).
+    struct HealBugTarget {
+        injected: bool,
+        healed_after_inject: bool,
+        wrote_after_heal: bool,
+    }
+
+    impl HealBugTarget {
+        fn new() -> Self {
+            Self {
+                injected: false,
+                healed_after_inject: false,
+                wrote_after_heal: false,
+            }
+        }
+    }
+
+    impl TestTarget for HealBugTarget {
+        fn reset(&mut self, _seed: u64, _record: bool) {
+            *self = HealBugTarget::new();
+        }
+        fn servers(&self) -> Vec<NodeId> {
+            vec![NodeId(0), NodeId(1), NodeId(2)]
+        }
+        fn leader(&mut self) -> Option<NodeId> {
+            Some(NodeId(0))
+        }
+        fn supported_events(&self) -> Vec<EventChoice> {
+            vec![EventChoice::Write, EventChoice::Read]
+        }
+        fn inject(&mut self, _spec: &PartitionSpec) {
+            self.injected = true;
+        }
+        fn heal_all(&mut self) {
+            if self.injected {
+                self.healed_after_inject = true;
+            }
+        }
+        fn apply_event(&mut self, ev: EventChoice, _rng: &mut StdRng) {
+            if ev == EventChoice::Write && self.healed_after_inject {
+                self.wrote_after_heal = true;
+            }
+        }
+        fn finish_and_check(&mut self) -> Vec<Violation> {
+            // finish_and_check's own heal would be too late: the write
+            // must land after the heal for the bug to fire.
+            if self.wrote_after_heal {
+                vec![Violation::new(ViolationKind::DataLoss, "post-heal write lost")]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    /// Counts events per trial to expose the n_events cap. `max_seen`
+    /// survives reset on purpose.
+    struct CountingTarget {
+        events_this_trial: usize,
+        max_seen: usize,
+    }
+
+    impl TestTarget for CountingTarget {
+        fn reset(&mut self, _seed: u64, _record: bool) {
+            self.events_this_trial = 0;
+        }
+        fn servers(&self) -> Vec<NodeId> {
+            vec![NodeId(0), NodeId(1)]
+        }
+        fn leader(&mut self) -> Option<NodeId> {
+            None
+        }
+        fn supported_events(&self) -> Vec<EventChoice> {
+            vec![EventChoice::Write]
+        }
+        fn inject(&mut self, _spec: &PartitionSpec) {}
+        fn heal_all(&mut self) {}
+        fn apply_event(&mut self, _ev: EventChoice, _rng: &mut StdRng) {
+            self.events_this_trial += 1;
+        }
+        fn finish_and_check(&mut self) -> Vec<Violation> {
+            self.max_seen = self.max_seen.max(self.events_this_trial);
+            Vec::new()
+        }
+    }
+
     #[test]
     fn findings_guided_beats_naive_on_the_toy_bug() {
         let mut target = ToyTarget::new();
@@ -368,6 +794,67 @@ mod tests {
             naive.trials_with_violation
         );
         assert!(guided.hit_rate() > 0.1, "{}", guided.hit_rate());
+    }
+
+    #[test]
+    fn heal_is_schedulable_mid_trial() {
+        let mut target = HealBugTarget::new();
+        let mut with_heal = Strategy::findings_guided();
+        with_heal.heal_percent = 100;
+        let hits = explore(&mut target, &with_heal, 80, 5);
+        assert!(
+            hits.trials_with_violation > 0,
+            "heal-then-op bug never found with heal scheduling on"
+        );
+        assert!(hits.kinds.contains_key(&ViolationKind::DataLoss));
+
+        let mut without_heal = Strategy::findings_guided();
+        without_heal.heal_percent = 0;
+        without_heal.composite_percent = 0;
+        let misses = explore(&mut target, &without_heal, 80, 5);
+        assert_eq!(
+            misses.trials_with_violation, 0,
+            "without mid-trial heal the bug is unreachable — the old \
+             explore() could never find it"
+        );
+    }
+
+    #[test]
+    fn n_events_draws_from_the_configured_bound() {
+        // Palette of 1: the old cap `max_events.min(palette.len() * 2)`
+        // silently clamped to 2. The fix draws from the configured bound.
+        let mut target = CountingTarget {
+            events_this_trial: 0,
+            max_seen: 0,
+        };
+        let mut strategy = Strategy::naive(6);
+        strategy.heal_percent = 0;
+        explore(&mut target, &strategy, 120, 7);
+        assert_eq!(
+            target.max_seen, 6,
+            "max_events=6 with a 1-event palette must still reach 6 events"
+        );
+    }
+
+    #[test]
+    fn coverage_guided_builds_a_corpus_and_tracks_signatures() {
+        let mut target = ToyTarget::new();
+        let exploration = explore_full(&mut target, &Strategy::coverage_guided(3), 60, 17);
+        assert!(!exploration.corpus.is_empty());
+        assert!(!exploration.report.signatures.is_empty());
+        assert!(
+            exploration.corpus.len() <= exploration.report.trials,
+            "corpus holds at most one entry per trial"
+        );
+        // Every find must carry its repro seed and at least one kind.
+        for find in &exploration.finds {
+            assert!(!find.kinds.is_empty());
+            assert!(!find.plan.steps.is_empty());
+        }
+        assert_eq!(
+            exploration.finds.len(),
+            exploration.report.trials_with_violation
+        );
     }
 
     #[test]
@@ -392,6 +879,7 @@ mod tests {
             kinds: [(ViolationKind::StaleRead, 1), (ViolationKind::DataLoss, 2)]
                 .into_iter()
                 .collect(),
+            ..Default::default()
         };
         let merged = merge_reports([&a, &b]);
         assert_eq!(merged.trials, 20);
@@ -401,6 +889,16 @@ mod tests {
         assert_eq!(merged.kinds[&ViolationKind::StaleRead], 3);
         assert_eq!(merged.kinds[&ViolationKind::DataLoss], 2);
         assert_eq!(merge_reports([]).trials, 0);
+    }
+
+    #[test]
+    fn merge_unions_signatures() {
+        let mut target = ToyTarget::new();
+        let a = explore(&mut target, &Strategy::coverage_guided(3), 20, 1);
+        let b = explore(&mut target, &Strategy::coverage_guided(3), 20, 2);
+        let merged = merge_reports([&a, &b]);
+        assert!(merged.signatures.len() >= a.signatures.len().max(b.signatures.len()));
+        assert!(merged.signatures.len() <= a.signatures.len() + b.signatures.len());
     }
 
     #[test]
@@ -467,5 +965,52 @@ mod tests {
             }
             other => panic!("expected partial, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn generate_plan_respects_partition_first_and_natural_order() {
+        let servers: Vec<NodeId> = (0..3).map(NodeId).collect();
+        let palette = [EventChoice::Read, EventChoice::Write, EventChoice::Delete];
+        let strategy = Strategy::findings_guided();
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..40 {
+            let plan = generate_plan(&strategy, &servers, Some(NodeId(0)), &palette, &mut rng);
+            assert!(
+                matches!(plan.steps[0], ScheduleStep::Partition(_)),
+                "partition_first must put the fault at step 0: {}",
+                plan.render()
+            );
+            let ranks: Vec<u8> = plan
+                .steps
+                .iter()
+                .filter_map(|s| match s {
+                    ScheduleStep::Client(ev, _) => Some(ev.natural_rank()),
+                    _ => None,
+                })
+                .collect();
+            assert!(
+                ranks.windows(2).all(|w| w[0] <= w[1]),
+                "natural order violated: {}",
+                plan.render()
+            );
+        }
+    }
+
+    #[test]
+    fn mutate_plan_changes_something_eventually() {
+        let servers: Vec<NodeId> = (0..3).map(NodeId).collect();
+        let palette = [EventChoice::Read, EventChoice::Write];
+        let strategy = Strategy::coverage_guided(3);
+        let mut rng = StdRng::seed_from_u64(5);
+        let base = generate_plan(&strategy, &servers, None, &palette, &mut rng);
+        let mut changed = false;
+        for _ in 0..20 {
+            let mutated = mutate_plan(&base, &strategy, &servers, None, &palette, &mut rng);
+            if format!("{:?}", mutated.steps) != format!("{:?}", base.steps) {
+                changed = true;
+                break;
+            }
+        }
+        assert!(changed, "20 mutations never changed the plan");
     }
 }

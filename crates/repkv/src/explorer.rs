@@ -7,10 +7,11 @@ use neat::{
     checkers::{check_register, RegisterSemantics},
     explore::{EventChoice, TestTarget},
     fault::PartitionSpec,
+    gray::DegradeSpec,
     Violation,
 };
 use rand::{rngs::StdRng, Rng};
-use simnet::NodeId;
+use simnet::{NodeId, Time};
 
 use crate::{
     cluster::{Cluster, ClusterSpec},
@@ -45,8 +46,10 @@ impl RepkvTarget {
 }
 
 impl TestTarget for RepkvTarget {
-    fn reset(&mut self, seed: u64) {
-        let mut cluster = Cluster::build(ClusterSpec::three_by_two(self.config.clone(), seed));
+    fn reset(&mut self, seed: u64, record: bool) {
+        let mut spec = ClusterSpec::three_by_two(self.config.clone(), seed);
+        spec.record_trace = record;
+        let mut cluster = Cluster::build(spec);
         cluster.wait_for_leader(3000);
         self.cluster = Some(cluster);
         self.next_val = 0;
@@ -68,8 +71,26 @@ impl TestTarget for RepkvTarget {
         self.cluster().neat.partition(spec.clone());
     }
 
+    fn degrade(&mut self, spec: &DegradeSpec) {
+        self.cluster().neat.degrade(spec.clone());
+    }
+
+    fn crash(&mut self, nodes: &[NodeId]) {
+        self.cluster().neat.crash(nodes);
+    }
+
+    fn restart(&mut self, nodes: &[NodeId]) {
+        self.cluster().neat.restart(nodes);
+    }
+
+    fn advance(&mut self, ms: Time) {
+        self.cluster().neat.sleep(ms);
+    }
+
     fn heal_all(&mut self) {
-        self.cluster().neat.heal_all();
+        let neat = &mut self.cluster().neat;
+        neat.heal_all();
+        neat.heal_all_degrades();
     }
 
     fn apply_event(&mut self, ev: EventChoice, rng: &mut StdRng) {
@@ -101,6 +122,11 @@ impl TestTarget for RepkvTarget {
     fn finish_and_check(&mut self) -> Vec<Violation> {
         let cluster = self.cluster.as_mut().expect("built"); // lint:allow(unwrap-expect)
         cluster.neat.heal_all();
+        cluster.neat.heal_all_degrades();
+        // Schedules may crash without restarting; bring every node back so
+        // the checkers judge the healed cluster, not a half-dead one.
+        let servers = cluster.servers.clone();
+        cluster.neat.restart(&servers);
         cluster.settle(2500);
         let final_state: BTreeMap<String, Option<u64>> = cluster.final_state(&Self::keys());
         check_register(
@@ -108,6 +134,10 @@ impl TestTarget for RepkvTarget {
             RegisterSemantics::Strong,
             &final_state,
         )
+    }
+
+    fn timeline(&mut self) -> neat::obs::Timeline {
+        self.cluster().neat.timeline()
     }
 }
 
@@ -129,10 +159,25 @@ mod tests {
     #[test]
     fn target_resets_cleanly_between_trials() {
         let mut target = RepkvTarget::new(Config::fixed());
-        target.reset(1);
+        target.reset(1, false);
         assert_eq!(target.servers().len(), 3);
         assert!(target.leader().is_some());
-        target.reset(2);
+        target.reset(2, false);
         assert_eq!(target.servers().len(), 3);
+    }
+
+    #[test]
+    fn recorded_reset_yields_a_live_timeline() {
+        let mut target = RepkvTarget::new(Config::fixed());
+        target.reset(3, true);
+        let servers = target.servers();
+        target.inject(&PartitionSpec::isolate(servers[0], servers[1..].to_vec()));
+        target.finish_and_check();
+        let timeline = target.timeline();
+        assert_eq!(
+            timeline.fault_windows().len(),
+            1,
+            "recorded timeline must carry the partition window"
+        );
     }
 }

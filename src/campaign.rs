@@ -744,6 +744,51 @@ pub fn registry() -> Vec<ScenarioSpec> {
             })),
         );
     }
+    // --- Delta-minimized explorer regressions (§5.4; neat::explore) ------
+    // Schedules mined by the coverage-guided explorer and shrunk to
+    // 1-minimal nemesis sequences by ddmin; their unit tests additionally
+    // prove 1-minimality and both-arm behaviour at the campaign seed.
+    {
+        use repkv::{explored as x, Config};
+        push(
+            "explored_simplex_leader_write",
+            "VoltDB",
+            "ddmin of explored trial",
+            "explored-simplex",
+            runner(|sd, rec| x::explored_simplex_leader_write(Config::voltdb(), sd, rec)),
+            Some(runner(|sd, rec| {
+                x::explored_simplex_leader_write(Config::fixed(), sd, rec)
+            })),
+        );
+    }
+    {
+        use gridstore::{explored as x, GridFlaws};
+        push(
+            "explored_simplex_heal_write",
+            "Ignite",
+            "ddmin of explored trial",
+            "explored-simplex-heal",
+            runner(|sd, rec| x::explored_simplex_heal_write(GridFlaws::flawed(), sd, rec)),
+            Some(runner(|sd, rec| {
+                x::explored_simplex_heal_write(GridFlaws::fixed(), sd, rec)
+            })),
+        );
+    }
+    {
+        use mqueue::{explored as x, BrokerFlaws};
+        push(
+            "explored_partition_double_dequeue",
+            "ActiveMQ",
+            "ddmin of explored trial",
+            "explored-complete",
+            runner(|sd, rec| {
+                x::explored_partition_double_dequeue(BrokerFlaws::flawed(), sd, rec)
+            }),
+            Some(runner(|sd, rec| {
+                x::explored_partition_double_dequeue(BrokerFlaws::fixed(), sd, rec)
+            })),
+        );
+    }
     specs
 }
 

@@ -20,7 +20,7 @@ fn every_scenario_arm_double_runs_identically() {
         failures.join("\n")
     );
     assert!(
-        outcomes.len() >= 87,
+        outcomes.len() >= 93,
         "registry shrank: only {} arms audited",
         outcomes.len()
     );
@@ -39,6 +39,13 @@ fn every_scenario_arm_double_runs_identically() {
         .filter(|s| s.partition.starts_with("load"))
         .count();
     assert!(load >= 5, "only {load} load scenarios registered");
+    // And the delta-minimized explorer regressions: replaying a ddmin'd
+    // schedule must be as reproducible as any hand-written scenario.
+    let explored = neat_repro::campaign::registry()
+        .iter()
+        .filter(|s| s.partition.starts_with("explored"))
+        .count();
+    assert!(explored >= 2, "only {explored} explored regressions registered");
 }
 
 /// The audit's streamed FNV-1a hash must equal the hash of the fully

@@ -149,4 +149,29 @@ proptest! {
         };
         prop_assert_eq!(run(1), run(jobs), "load arms diverged at seed {}", seed);
     }
+
+    /// Sharded coverage-guided exploration merges deterministically: for
+    /// random (base seed, jobs-pair) samples, the merged exploration —
+    /// report tallies, novelty-corpus entries in discovery order, and
+    /// every find with its repro seed — must render byte-identically
+    /// whichever worker count produced it.
+    #[test]
+    fn exploration_merges_are_jobs_invariant(
+        seed in 0u64..10_000,
+        jobs_a in 1usize..9,
+        jobs_b in 1usize..9,
+    ) {
+        let strategy = neat::explore::Strategy::coverage_guided(3);
+        let make = || repkv::RepkvTarget::new(repkv::Config::voltdb());
+        let run = |jobs: usize| {
+            let merged = fleet::explore::explore_sharded(jobs, 3, seed, make, &strategy, 4);
+            format!("{merged:?}")
+        };
+        prop_assert_eq!(
+            run(jobs_a),
+            run(jobs_b),
+            "exploration diverged between jobs={} and jobs={} at base seed {}",
+            jobs_a, jobs_b, seed
+        );
+    }
 }

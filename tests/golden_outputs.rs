@@ -234,6 +234,19 @@ fn workload_bench_artifact_matches_the_registry_shape() {
     );
 }
 
+/// The exploration bench is seed-pure virtual time end to end — strategy
+/// comparison, sharded merge, and minimized-regression replays — so the
+/// artifact gets the full byte-for-byte golden treatment.
+#[test]
+fn explore_bench_artifact_is_fresh() {
+    assert_fresh(
+        "BENCH_explore.json",
+        &read("BENCH_explore.json"),
+        &bench::reports::explore_machine_json(),
+        "cargo run --release -p bench --bin explore_bench",
+    );
+}
+
 /// The lint-scan counters are a pure function of the committed source
 /// tree (no wall-clock numbers), so the artifact gets the full
 /// byte-for-byte golden treatment: any rule, resolver, or annotation
@@ -257,6 +270,7 @@ fn all_golden_artifacts_exist() {
         "tables_output.txt",
         "figures_output.txt",
         "forensics_output.txt",
+        "BENCH_explore.json",
         "BENCH_fleet.json",
         "BENCH_forensics.json",
         "BENCH_gray.json",

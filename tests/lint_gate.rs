@@ -53,8 +53,8 @@ fn workspace_has_no_unused_allows() {
 fn registry_is_consistent_with_golden_artifacts() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
     let report = lint::check_registry(root);
-    assert_eq!(report.scenarios, 44);
-    assert_eq!(report.arms, 87);
+    assert_eq!(report.scenarios, 47);
+    assert_eq!(report.arms, 93);
     assert!(
         report.findings.is_empty(),
         "registry inconsistencies:\n{}",
