@@ -1,7 +1,9 @@
 //! Measures the fleet runner and writes `BENCH_fleet.json` at the repo
 //! root: multi-seed campaign sweep wall-clock at each rung of a jobs
-//! ladder, speedup vs serial, byte-identity of every parallel run, and
-//! the same for an exploration sweep.
+//! ladder, speedup vs serial, byte-identity of every parallel run, the
+//! same for an exploration sweep, the work-stealing grid's scheduling
+//! counters at the top rung, and a 32-seed §5.4 detection-probability
+//! curve.
 //!
 //! ```text
 //! cargo run --release -p bench --bin fleet_bench            # writes BENCH_fleet.json
@@ -12,7 +14,9 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let print_only = std::env::args().any(|a| a == "--print");
-    let bench = bench::fleet_bench::measure(8, &[1, 2, 4, 8]);
+    // 32 curve seeds: one detection-probability point per budget 1..=32,
+    // a much finer §5.4 curve than the 8-seed sweep alone gives.
+    let bench = bench::fleet_bench::measure(8, &[1, 2, 4, 8], 32);
     let json = bench.to_pretty_json();
     if print_only {
         print!("{json}");

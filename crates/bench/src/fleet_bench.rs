@@ -48,6 +48,32 @@ pub struct ExploreMeasurement {
     pub identical: bool,
 }
 
+/// Scheduling counters of the work-stealing grid at the ladder's top
+/// rung (see [`fleet::pool::GridStats`]): `workers`, `batch`, and
+/// `batches` are pure functions of `(jobs, items)` and safe to pin;
+/// `steals` depends on OS scheduling and is shape-gated only.
+#[derive(Clone, Debug)]
+pub struct GridMeasurement {
+    pub workers: usize,
+    pub batch: usize,
+    pub batches: u64,
+    pub steals: u64,
+}
+
+/// The high-resolution §5.4 detection-probability curve. Campaign
+/// scenarios detect deterministically (their curve is flat at 1.0 from
+/// budget 1 — see `SweepReport::detection_curve`), so the interesting
+/// budget axis is *exploration trials*: `points[b-1]` is the fraction of
+/// `sweep_seeds` independent exploration runs whose first violation
+/// arrived within `b` trials. Deterministic — a pure function of the
+/// seed list — so the rendered points are safe to pin in the golden.
+#[derive(Clone, Debug)]
+pub struct CurveMeasurement {
+    pub sweep_seeds: usize,
+    pub trials: usize,
+    pub points: Vec<f64>,
+}
+
 /// Everything `BENCH_fleet.json` records.
 #[derive(Clone, Debug)]
 pub struct FleetBench {
@@ -58,14 +84,18 @@ pub struct FleetBench {
     /// speedups only make sense relative to this.
     pub machine_workers: usize,
     pub campaign: Vec<JobsMeasurement>,
+    /// Grid scheduling counters for the top campaign rung.
+    pub grid: GridMeasurement,
     pub explore: ExploreMeasurement,
+    pub detection_curve: CurveMeasurement,
 }
 
 /// Measures a multi-seed campaign sweep at each rung of `jobs_ladder`
 /// (the first rung is forced to 1 as the serial baseline) plus an
 /// exploration sweep, over `seed_count` seeds starting at the default
-/// campaign seed.
-pub fn measure(seed_count: usize, jobs_ladder: &[usize]) -> FleetBench {
+/// campaign seed — and a `curve_seeds`-seed sweep for the
+/// high-resolution §5.4 detection-probability curve.
+pub fn measure(seed_count: usize, jobs_ladder: &[usize], curve_seeds: usize) -> FleetBench {
     let opts = fleet::cli::Opts {
         seeds: Some(seed_count),
         ..fleet::cli::Opts::default()
@@ -80,8 +110,23 @@ pub fn measure(seed_count: usize, jobs_ladder: &[usize]) -> FleetBench {
         speedup: 1.0,
         byte_identical: true,
     }];
+    let mut grid = GridMeasurement {
+        workers: 1,
+        batch: 0,
+        batches: 0,
+        steals: 0,
+    };
+    let top_rung = jobs_ladder.iter().copied().max().unwrap_or(1);
     for &jobs in jobs_ladder.iter().filter(|&&j| j > 1) {
-        let (report, ns) = time_ns(|| fleet::campaign::sweep(&seeds, jobs));
+        let ((report, stats), ns) = time_ns(|| fleet::campaign::sweep_grid(&seeds, jobs));
+        if jobs == top_rung {
+            grid = GridMeasurement {
+                workers: stats.workers,
+                batch: stats.batch,
+                batches: stats.batches,
+                steals: stats.steals,
+            };
+        }
         campaign.push(JobsMeasurement {
             jobs,
             wall_clock_ns: ns,
@@ -114,12 +159,43 @@ pub fn measure(seed_count: usize, jobs_ladder: &[usize]) -> FleetBench {
         })
         && serial_reports.len() == parallel_reports.len();
 
+    // The high-resolution curve: many independent exploration runs, one
+    // per curve seed, each probing the same flawed target. Budget `b`
+    // detects iff the run's first violation arrived within `b` trials.
+    let curve_opts = fleet::cli::Opts {
+        seeds: Some(curve_seeds),
+        ..fleet::cli::Opts::default()
+    };
+    let curve_seed_list = fleet::cli::sweep_seeds(&curve_opts);
+    let curve_reports = fleet::explore::explore_sweep(
+        top_jobs,
+        &curve_seed_list,
+        || repkv::RepkvTarget::new(repkv::Config::voltdb()),
+        &strategy,
+        trials,
+    );
+    let points = (1..=trials)
+        .map(|b| {
+            let hit = curve_reports
+                .iter()
+                .filter(|r| r.first_violation_trial.is_some_and(|t| t <= b))
+                .count();
+            hit as f64 / curve_reports.len().max(1) as f64
+        })
+        .collect();
+    let detection_curve = CurveMeasurement {
+        sweep_seeds: curve_seed_list.len(),
+        trials,
+        points,
+    };
+
     FleetBench {
         scenarios: neat_repro::campaign::scenario_count(),
         arms: neat_repro::campaign::arm_ids().len(),
         seeds: seeds.len(),
         machine_workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
         campaign,
+        grid,
         explore: ExploreMeasurement {
             seeds: seeds.len(),
             trials,
@@ -129,6 +205,7 @@ pub fn measure(seed_count: usize, jobs_ladder: &[usize]) -> FleetBench {
             speedup: explore_serial_ns as f64 / explore_parallel_ns.max(1) as f64,
             identical,
         },
+        detection_curve,
     }
 }
 
@@ -160,7 +237,12 @@ impl FleetBench {
             push_f64(&mut out, m.speedup);
             let _ = write!(out, ",\"byte_identical\":{}}}", m.byte_identical);
         }
-        out.push_str("],\"explore\":{");
+        let _ = write!(
+            out,
+            "],\"grid\":{{\"workers\":{},\"batch\":{},\"batches\":{},\"steals\":{}}}",
+            self.grid.workers, self.grid.batch, self.grid.batches, self.grid.steals
+        );
+        out.push_str(",\"explore\":{");
         let _ = write!(
             out,
             "\"seeds\":{},\"trials\":{},\"jobs\":{},\"serial_wall_clock_ns\":{},\
@@ -173,7 +255,18 @@ impl FleetBench {
         );
         push_f64(&mut out, self.explore.speedup);
         let _ = write!(out, ",\"identical\":{}}}", self.explore.identical);
-        out.push('}');
+        let _ = write!(
+            out,
+            ",\"detection_curve\":{{\"sweep_seeds\":{},\"trials\":{},\"points\":[",
+            self.detection_curve.sweep_seeds, self.detection_curve.trials
+        );
+        for (i, p) in self.detection_curve.points.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_f64(&mut out, *p);
+        }
+        out.push_str("]}}");
         out
     }
 
@@ -191,15 +284,26 @@ mod tests {
     fn measure_reports_identical_parallel_runs() {
         // Tiny configuration: 2 seeds, ladder [1, 2]. The point is the
         // equivalence bits and the schema, not the timings.
-        let b = measure(2, &[1, 2]);
+        let b = measure(2, &[1, 2], 3);
         assert_eq!(b.scenarios, neat_repro::campaign::scenario_count());
         assert_eq!(b.seeds, 2);
         assert!(b.campaign.iter().all(|m| m.byte_identical));
         assert!(b.explore.identical);
+        assert_eq!(b.grid.workers, 2);
+        assert!(b.grid.batches > 0);
+        assert_eq!(b.detection_curve.sweep_seeds, 3);
+        assert_eq!(b.detection_curve.points.len(), b.detection_curve.trials);
+        assert!(b
+            .detection_curve
+            .points
+            .windows(2)
+            .all(|w| w[0] <= w[1]), "curve must be monotone");
         let json = b.to_json();
         assert!(json.contains("\"bench\":\"fleet\""), "{json}");
         assert!(json.contains("\"machine_workers\":"), "{json}");
         assert!(json.contains("\"byte_identical\":true"), "{json}");
+        assert!(json.contains("\"grid\":{\"workers\":2"), "{json}");
+        assert!(json.contains("\"detection_curve\":{\"sweep_seeds\":3"), "{json}");
         // Pretty form round-trips the same keys.
         let pretty = b.to_pretty_json();
         assert!(pretty.contains("\"speedup\": "), "{pretty}");

@@ -263,8 +263,31 @@ pub fn deterministic_counts(seed: u64) -> DeterministicCounts {
 /// Runs every layer. `sample_size` feeds the criterion shim (the binary
 /// uses 10; tests use fewer to stay quick).
 pub fn measure(seed: u64, sample_size: usize) -> PerfBench {
-    let micro = micro_benches(sample_size);
-    let (_, campaign_ns) = time_ns(|| campaign::run_all_scenarios(seed));
+    measure_repeat(seed, sample_size, 1)
+}
+
+/// [`measure`] with min-of-N folding over the wall-clock layers: the
+/// micro benches and the campaign timing run `repeat` times and each
+/// label keeps its *minimum* median (the least-interfered-with sample —
+/// noise on a shared box only ever inflates a timing). The deterministic
+/// counters are computed once; repetition cannot change them. This backs
+/// the `--repeat N` flag of `bench --bin perf`, so golden throughput
+/// numbers are less hostage to scheduler luck.
+pub fn measure_repeat(seed: u64, sample_size: usize, repeat: usize) -> PerfBench {
+    let repeat = repeat.max(1);
+    let mut micro = micro_benches(sample_size);
+    let (_, mut campaign_ns) = time_ns(|| campaign::run_all_scenarios(seed));
+    for _ in 1..repeat {
+        for again in micro_benches(sample_size) {
+            if let Some(m) = micro.iter_mut().find(|m| m.label == again.label) {
+                if again.median_ns < m.median_ns {
+                    *m = again;
+                }
+            }
+        }
+        let (_, ns) = time_ns(|| campaign::run_all_scenarios(seed));
+        campaign_ns = campaign_ns.min(ns);
+    }
     let audit = audit_both_ways(seed, sample_size.min(5));
     let deterministic = deterministic_counts(seed);
     PerfBench {

@@ -110,6 +110,9 @@ impl RaftCluster {
             .collect();
         let world = WorldBuilder::new(spec.seed)
             .record_trace(spec.record_trace)
+            // Historical high-water mark of the consensus arms (longest:
+            // rethinkdb_reconfig_split_brain, ~956 events at seed 8).
+            .event_capacity(1024)
             .build(spec.servers + spec.clients, |id| {
                 if id.0 < spec.servers {
                     RaftProc::Server(Box::new(RaftNode::new(id, servers.clone(), spec.tweaks)))

@@ -106,6 +106,9 @@ impl CoordCluster {
         let client_ids: Vec<NodeId> = (servers..servers + clients).map(NodeId).collect();
         let world = WorldBuilder::new(seed)
             .record_trace(record)
+            // Historical high-water mark of the coord arms (longest:
+            // txnlog_sync_corruption, ~656 events at seed 8).
+            .event_capacity(768)
             .build(servers + clients, |id| {
                 if id.0 < servers {
                     CoordProc::Server(Box::new(CoordServer::new(id, server_ids.clone(), flaws)))

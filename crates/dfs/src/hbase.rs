@@ -391,7 +391,11 @@ impl HbCluster {
         let store = NodeId(3);
         let client = NodeId(4);
         let rs_for_build = region_servers.clone();
-        let world = WorldBuilder::new(seed).record_trace(record).build(5, |id| {
+        // HBase arms peak around 115 events at seed 8.
+        let world = WorldBuilder::new(seed)
+            .record_trace(record)
+            .event_capacity(128)
+            .build(5, |id| {
             if id == master {
                 HbProc::Master(Box::new(HMaster {
                     region_servers: rs_for_build.clone(),

@@ -295,7 +295,11 @@ impl HdfsCluster {
         ];
         let client = NodeId(8);
         let racks_for_build = racks.clone();
-        let world = WorldBuilder::new(seed).record_trace(record).build(9, |id| {
+        // HDFS arms peak around 455 events at seed 8.
+        let world = WorldBuilder::new(seed)
+            .record_trace(record)
+            .event_capacity(512)
+            .build(9, |id| {
             if id == nn {
                 HdfsProc::Nn(Box::new(NameNode::new(racks_for_build.clone(), flaws)))
             } else if id.0 <= 7 {

@@ -199,7 +199,11 @@ impl MooseCluster {
         let chunkservers: Vec<NodeId> = (1..=3).map(NodeId).collect();
         let client = NodeId(4);
         let cs_for_build = chunkservers.clone();
-        let world = WorldBuilder::new(seed).record_trace(record).build(5, |id| {
+        // MooseFS arms are tiny: ~12 events at seed 8.
+        let world = WorldBuilder::new(seed)
+            .record_trace(record)
+            .event_capacity(32)
+            .build(5, |id| {
             if id == master {
                 MooseProc::Master(Master {
                     chunkservers: cs_for_build.clone(),

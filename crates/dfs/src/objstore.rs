@@ -259,7 +259,11 @@ impl ObjCluster {
         let osds: Vec<NodeId> = (0..3).map(NodeId).collect();
         let clients: Vec<NodeId> = (3..5).map(NodeId).collect();
         let osds_for_build = osds.clone();
-        let world = WorldBuilder::new(seed).record_trace(record).build(5, |id| {
+        // Object-store (Redis-style) arms peak around 507 events at seed 8.
+        let world = WorldBuilder::new(seed)
+            .record_trace(record)
+            .event_capacity(640)
+            .build(5, |id| {
             if id.0 < 3 {
                 ObjProc::Osd(Box::new(Osd {
                     me: id,

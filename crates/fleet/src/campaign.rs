@@ -15,6 +15,7 @@ use neat_repro::campaign::{
 };
 
 use crate::pool;
+use crate::pool::GridStats;
 
 /// Parallel [`neat_repro::campaign::run_all_scenarios`]: the full campaign
 /// at one seed, sharded by scenario.
@@ -25,8 +26,15 @@ pub fn run_all(seed: u64, jobs: usize) -> Vec<ScenarioResult> {
 /// The full campaign at every seed of `seeds`, sharded by
 /// (seed, scenario) pair and merged back into per-seed runs.
 pub fn sweep(seeds: &[u64], jobs: usize) -> SweepReport {
+    sweep_grid(seeds, jobs).0
+}
+
+/// [`sweep`] plus the [`GridStats`] of the underlying work-stealing grid
+/// — the (seed × arm) fan-out BENCH_fleet records batch/steal counters
+/// for. Same bytes as `sweep` at any `jobs`; only the stats differ.
+pub fn sweep_grid(seeds: &[u64], jobs: usize) -> (SweepReport, GridStats) {
     let n = scenario_count();
-    let flat = pool::map(jobs, n * seeds.len(), |k| {
+    let (flat, stats) = pool::grid(jobs, n * seeds.len(), || (), |(), k| {
         run_scenario_at(k % n, seeds[k / n])
     });
     let mut runs: Vec<Vec<ScenarioResult>> = Vec::with_capacity(seeds.len());
@@ -36,7 +44,7 @@ pub fn sweep(seeds: &[u64], jobs: usize) -> SweepReport {
         runs.push(rest);
         rest = tail;
     }
-    SweepReport::from_runs(seeds.to_vec(), &runs)
+    (SweepReport::from_runs(seeds.to_vec(), &runs), stats)
 }
 
 /// Parallel [`neat_repro::campaign::scenario_fingerprints`]: every arm

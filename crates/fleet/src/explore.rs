@@ -23,8 +23,17 @@ use neat::explore::{
 use crate::pool;
 
 /// Runs `explore` once per seed, in parallel, returning per-seed reports
-/// in seed order. `make_target` builds a fresh target per worker run, so
-/// no simulation state crosses threads.
+/// in seed order.
+///
+/// `make_target` builds **one target per worker**, reused across every
+/// seed that worker claims — not one per seed. A [`TestTarget::reset`]
+/// fully rebuilds the simulated cluster from the trial seed, so reuse
+/// cannot leak state between seeds (the jobs-invariance test below pins
+/// that), but it lets the target's allocations — corpus buffers, report
+/// scratch, the exploration driver itself — warm up once instead of per
+/// work item. This is the fix for the `explore.speedup < 1` regression
+/// BENCH_fleet used to record: target construction was dominating the
+/// per-item cost.
 pub fn explore_sweep<T, F>(
     jobs: usize,
     seeds: &[u64],
@@ -36,9 +45,8 @@ where
     T: TestTarget,
     F: Fn() -> T + Sync,
 {
-    pool::map(jobs, seeds.len(), |i| {
-        let mut target = make_target();
-        explore(&mut target, strategy, trials, seeds[i])
+    pool::map_with(jobs, seeds.len(), &make_target, |target, i| {
+        explore(target, strategy, trials, seeds[i])
     })
 }
 
@@ -64,9 +72,9 @@ where
     T: TestTarget,
     F: Fn() -> T + Sync,
 {
-    let per_shard: Vec<Exploration> = pool::map(jobs, shards, |i| {
-        let mut target = make_target();
-        explore_full(&mut target, strategy, trials_per_shard, base_seed + i as u64)
+    // As in `explore_sweep`: one target per worker, `reset` per trial.
+    let per_shard: Vec<Exploration> = pool::map_with(jobs, shards, &make_target, |target, i| {
+        explore_full(target, strategy, trials_per_shard, base_seed + i as u64)
     });
     merge_explorations(&per_shard)
 }

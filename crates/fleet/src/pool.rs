@@ -1,11 +1,25 @@
-//! The worker pool: a deterministic parallel `map` over indexed work.
+//! The worker pool: a deterministic work-stealing grid over indexed work.
 //!
 //! Every simulation in the workspace is single-threaded and a pure
 //! function of its seed (enforced by `crates/lint` and the double-run
 //! auditor). That makes campaign execution embarrassingly parallel: work
-//! items are *indices* into a deterministic work list, workers race only
-//! over *which* item they pull next, and the reduce step restores index
-//! order — so the merged result is byte-identical for any worker count.
+//! items are *indices* into a deterministic work list — a flattened
+//! (seed × arm) grid for sweeps — workers race only over *which* item
+//! they pull next, and the reduce step restores index order, so the
+//! merged result is byte-identical for any worker count.
+//!
+//! Scheduling is a work-stealing grid rather than the old single shared
+//! cursor: the index range is pre-split into one contiguous chunk per
+//! worker, each chunk fronted by its own atomic cursor, and workers claim
+//! *batches* of indices with one `fetch_add` instead of one index at a
+//! time. A worker that drains its own chunk turns thief and claims
+//! batches from the other chunks' cursors — the same disjoint-claim
+//! `fetch_add`, so no index is ever run twice and none is lost, whichever
+//! worker gets there first. Batching amortises the contended atomic to
+//! one RMW per `batch` items; chunk affinity keeps neighbouring items
+//! (same seed, adjacent arms) on one worker, which is what lets
+//! [`map_with`] reuse a per-worker scratch state (a test target, an
+//! arena) across consecutive trials.
 //!
 //! This module is the **only** place in the workspace allowed to start OS
 //! threads. Each `lint:allow(thread-spawn)` below is an audited exception;
@@ -13,17 +27,42 @@
 //! (see `lint::scan`), so simulation crates stay single-threaded by
 //! construction.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Counters describing how a grid run was scheduled.
+///
+/// `workers`, `batch`, and `batches` are pure functions of `(jobs, n)` —
+/// the total number of successful batch claims is `Σ ceil(chunk/batch)`
+/// over the per-worker chunks regardless of which worker claimed what —
+/// so they are safe to pin in goldens. `steals` (claims served from
+/// another worker's chunk) depends on OS scheduling and is only
+/// shape-gated, never value-gated.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GridStats {
+    /// Worker threads used (1 means the serial fast path, no threads).
+    pub workers: usize,
+    /// Indices claimed per cursor `fetch_add`.
+    pub batch: usize,
+    /// Total successful batch claims across all workers (deterministic).
+    pub batches: u64,
+    /// Batch claims served from a foreign chunk (nondeterministic).
+    pub steals: u64,
+}
+
+/// Batch size for a grid of `n` items over `jobs` workers: large enough
+/// to amortise the atomic claim, small enough that every worker sees
+/// several batches per chunk (so stealing has something to steal).
+fn batch_size(jobs: usize, n: usize) -> usize {
+    (n / (jobs * 4)).clamp(1, 64)
+}
 
 /// Applies `f` to every index in `0..n` using up to `jobs` worker
 /// threads and returns the results in index order.
 ///
-/// Scheduling is dynamic (an atomic cursor hands out the next index), so
-/// which worker computes which item varies run to run — but `f` must be a
-/// pure function of its index, and the index-sorted reduce makes the
-/// output independent of that scheduling. `jobs <= 1` degenerates to a
-/// plain serial loop with no threads at all.
+/// `f` must be a pure function of its index; the index-sorted reduce
+/// makes the output independent of scheduling. `jobs <= 1` degenerates to
+/// a plain serial loop with no threads at all.
 ///
 /// Panics in `f` propagate: the scope joins every worker first, so no
 /// work is silently dropped.
@@ -32,28 +71,97 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    map_with(jobs, n, || (), move |(), i| f(i))
+}
+
+/// Like [`map`], but threads a per-worker scratch state through every
+/// item a worker runs: `init` builds one `S` per worker (and one for the
+/// serial path), and `f` gets `&mut S` alongside the index.
+///
+/// The scratch is an *optimisation channel*, not a data channel: `f`
+/// must produce the same result for an index whatever sequence of other
+/// indices touched the scratch before it (e.g. a reusable test target
+/// that is fully `reset` per trial, or a preallocated buffer that is
+/// cleared per use). The fleet equivalence suites assert exactly that by
+/// comparing serial and parallel runs byte for byte.
+pub fn map_with<S, T, IF, F>(jobs: usize, n: usize, init: IF, f: F) -> Vec<T>
+where
+    T: Send,
+    IF: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    grid(jobs, n, init, f).0
+}
+
+/// The full work-stealing grid: [`map_with`] plus the [`GridStats`]
+/// describing how the run was scheduled.
+pub fn grid<S, T, IF, F>(jobs: usize, n: usize, init: IF, f: F) -> (Vec<T>, GridStats)
+where
+    T: Send,
+    IF: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     let jobs = jobs.max(1).min(n.max(1));
+    let batch = batch_size(jobs, n.max(1));
     if jobs <= 1 {
-        return (0..n).map(f).collect();
+        let mut scratch = init();
+        let out: Vec<T> = (0..n).map(|i| f(&mut scratch, i)).collect();
+        let stats = GridStats {
+            workers: 1,
+            batch,
+            batches: (n as u64).div_ceil(batch as u64),
+            steals: 0,
+        };
+        return (out, stats);
     }
 
-    let cursor = AtomicUsize::new(0);
+    // One contiguous chunk per worker; chunk w covers
+    // [w*n/jobs, (w+1)*n/jobs). Each chunk has its own claim cursor.
+    let bounds: Vec<(usize, usize)> = (0..jobs)
+        .map(|w| (w * n / jobs, (w + 1) * n / jobs))
+        .collect();
+    let cursors: Vec<AtomicUsize> = bounds.iter().map(|&(lo, _)| AtomicUsize::new(lo)).collect();
+    let batches = AtomicU64::new(0);
+    let steals = AtomicU64::new(0);
     let merged: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
     // The audited orchestration boundary: scoped workers execute
     // single-threaded deterministic simulations in parallel.
     #[allow(clippy::disallowed_methods)]
     // lint:allow(thread-spawn) -- audited: deterministic index-sorted reduce
     std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            // lint:allow(thread-spawn) -- audited worker of the fleet pool
-            scope.spawn(|| {
+        for w in 0..jobs {
+            let bounds = &bounds;
+            let cursors = &cursors;
+            let batches = &batches;
+            let steals = &steals;
+            let merged = &merged;
+            let init = &init;
+            let f = &f;
+            // lint:allow(thread-spawn) -- audited worker of the fleet grid
+            scope.spawn(move || {
+                let mut scratch = init();
                 let mut local: Vec<(usize, T)> = Vec::new();
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+                // Own chunk first, then sweep the others as a thief. A
+                // victim's cursor hands out disjoint batches to however
+                // many thieves race on it, so coverage is exact: a chunk
+                // is abandoned only once its cursor has passed its end.
+                for k in 0..jobs {
+                    let q = (w + k) % jobs;
+                    let end = bounds[q].1;
+                    loop {
+                        let lo = cursors[q].fetch_add(batch, Ordering::Relaxed);
+                        if lo >= end {
+                            break;
+                        }
+                        let hi = (lo + batch).min(end);
+                        for i in lo..hi {
+                            local.push((i, f(&mut scratch, i)));
+                        }
+                        batches.fetch_add(1, Ordering::Relaxed);
+                        if q != w {
+                            steals.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
-                    local.push((i, f(i)));
                 }
                 match merged.lock() {
                     Ok(mut all) => all.extend(local),
@@ -71,7 +179,13 @@ where
     };
     all.sort_by_key(|&(i, _)| i);
     assert_eq!(all.len(), n, "fleet reduce lost work items");
-    all.into_iter().map(|(_, v)| v).collect()
+    let stats = GridStats {
+        workers: jobs,
+        batch,
+        batches: batches.into_inner(),
+        steals: steals.into_inner(),
+    };
+    (all.into_iter().map(|(_, v)| v).collect(), stats)
 }
 
 #[cfg(test)]
@@ -105,5 +219,65 @@ mod tests {
     fn results_are_values_not_indices() {
         let out = map(4, 10, |i| format!("item-{i}"));
         assert_eq!(out[7], "item-7");
+    }
+
+    #[test]
+    fn scratch_is_reused_within_a_worker_but_results_stay_pure() {
+        // The scratch counts how many items its worker ran; the *result*
+        // must not depend on it. Compare against serial.
+        let serial = map_with(1, 200, || 0u64, |seen, i| {
+            *seen += 1;
+            i * 3
+        });
+        for jobs in [2, 4, 8] {
+            let par = map_with(jobs, 200, || 0u64, |seen, i| {
+                *seen += 1;
+                i * 3
+            });
+            assert_eq!(par, serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn batch_claims_are_deterministic_for_fixed_jobs_and_n() {
+        // batches = Σ ceil(chunk/batch): every cursor is pumped until it
+        // passes its end, so the claim count is scheduling-independent.
+        let (_, s1) = grid(4, 103, || (), |(), i| i);
+        let (_, s2) = grid(4, 103, || (), |(), i| i);
+        assert_eq!(s1.batches, s2.batches);
+        assert_eq!(s1.batch, s2.batch);
+        assert_eq!(s1.workers, 4);
+        let expect: u64 = (0..4)
+            .map(|w| {
+                let chunk = ((w + 1) * 103 / 4 - w * 103 / 4) as u64;
+                chunk.div_ceil(s1.batch as u64)
+            })
+            .sum();
+        assert_eq!(s1.batches, expect);
+    }
+
+    #[test]
+    fn serial_grid_reports_one_worker_and_no_steals() {
+        let (out, stats) = grid(1, 10, || (), |(), i| i);
+        assert_eq!(out.len(), 10);
+        assert_eq!(
+            stats,
+            GridStats {
+                workers: 1,
+                batch: batch_size(1, 10),
+                batches: (10u64).div_ceil(batch_size(1, 10) as u64),
+                steals: 0
+            }
+        );
+    }
+
+    #[test]
+    fn uneven_grids_cover_every_index_exactly_once() {
+        for n in [1usize, 2, 7, 64, 65, 129, 1000] {
+            for jobs in [2usize, 3, 5, 8] {
+                let out = map(jobs, n, |i| i);
+                assert_eq!(out, (0..n).collect::<Vec<_>>(), "n={n} jobs={jobs}");
+            }
+        }
     }
 }

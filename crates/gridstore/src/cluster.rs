@@ -246,6 +246,9 @@ impl GridCluster {
         let client_ids: Vec<NodeId> = (servers..servers + clients).map(NodeId).collect();
         let world = WorldBuilder::new(seed)
             .record_trace(record)
+            // Historical high-water mark of the gridstore arms (longest
+            // Ignite/Hazelcast arm ~576 events at seed 8).
+            .event_capacity(640)
             .build(servers + clients, |id| {
                 if id.0 < servers {
                     GridProc::Server(Box::new(GridNode::new(id, server_ids.clone(), flaws)))

@@ -263,6 +263,9 @@ impl MqCluster {
         let client_ids: Vec<NodeId> = (brokers + 1..brokers + 3).map(NodeId).collect();
         let world = WorldBuilder::new(seed)
             .record_trace(record)
+            // Historical high-water mark of the broker-queue arms
+            // (longest RabbitMQ arm ~541 events at seed 8).
+            .event_capacity(640)
             .build(brokers + 3, |id| {
                 if id == coord_id {
                     MqProc::Coord(Box::new(CoordServer::new(id, vec![coord_id], coord_flaws)))
@@ -512,6 +515,9 @@ impl AcCluster {
         let client_ids: Vec<NodeId> = (brokers..brokers + 2).map(NodeId).collect();
         let world = WorldBuilder::new(seed)
             .record_trace(record)
+            // Historical high-water mark of the Kafka-style arms
+            // (~483 events at seed 8).
+            .event_capacity(512)
             .build(brokers + 2, |id| {
                 if id.0 < brokers {
                     let mut b = PeerBroker::new(id, broker_ids.clone(), flaws);

@@ -138,6 +138,9 @@ impl Cluster {
         let config = spec.config.clone();
         let world = WorldBuilder::new(spec.seed)
             .record_trace(spec.record_trace)
+            // Historical high-water mark of the repkv arms (longest:
+            // load_retry_storm_gray_loss, ~2540 events at seed 8).
+            .event_capacity(2560)
             .build(spec.servers + spec.clients, |id| {
                 if id.0 < spec.servers {
                     Proc::Server(Box::new(Server::new(

@@ -164,7 +164,11 @@ impl DkCluster {
         let nodes: Vec<NodeId> = (0..3).map(NodeId).collect();
         let client = NodeId(3);
         let peers = nodes.clone();
-        let world = WorldBuilder::new(seed).record_trace(record).build(4, |id| {
+        // Dkron-style arms peak under ~400 events at seed 8.
+        let world = WorldBuilder::new(seed)
+            .record_trace(record)
+            .event_capacity(512)
+            .build(4, |id| {
             if id.0 < 3 {
                 DkProc::Node(DkNode::new(id, peers.clone(), id.0 == 0, flaws))
             } else {

@@ -428,7 +428,11 @@ impl MrCluster {
         let store = NodeId(4);
         let client = NodeId(5);
         let nms_for_build = nms.clone();
-        let world = WorldBuilder::new(seed).record_trace(record).build(6, |id| {
+        // MapReduce arms peak around 77 events at seed 8.
+        let world = WorldBuilder::new(seed)
+            .record_trace(record)
+            .event_capacity(128)
+            .build(6, |id| {
             if id == rm {
                 MrProc::Rm(Rm::new(nms_for_build.clone(), store, flaws))
             } else if id.0 <= 3 {

@@ -1,10 +1,28 @@
-//! Event queue primitives: virtual time, timers, and the ordered event heap.
+//! Event queue primitives: virtual time, timers, and the ordered queue.
+//!
+//! The queue is split by event class (PR 5 split key from payload; this
+//! goes further):
+//!
+//! - **Deliveries** keep the small-key [`BinaryHeap`]: a three-word
+//!   `HeapKey` orders them while the message payload lives out-of-line
+//!   in a generation-checked arena (`crate::arena`), recycled through a
+//!   free list.
+//! - **Timers** move to a hierarchical timer wheel (`crate::wheel`):
+//!   amortised `O(1)` push/pop instead of `O(log n)` sift work, with
+//!   entries stored inline in wheel buckets (a timer is six words —
+//!   nothing to arena).
+//!
+//! `EventQueue::pop` merges the two by comparing their `(time, seq)`
+//! heads, so the global total order — and therefore every audit
+//! fingerprint — is exactly what the single-heap queue produced. The
+//! equivalence tests at the bottom drive random schedules through this
+//! queue and a frozen copy of the old one and assert identical pop
+//! streams.
 
-use std::{
-    cmp::Reverse,
-    collections::BinaryHeap,
-};
+use std::{cmp::Reverse, collections::BinaryHeap};
 
+use crate::arena::{Arena, Handle};
+use crate::wheel::{TimerEntry, TimerWheel};
 use crate::NodeId;
 
 /// Virtual time in milliseconds since the start of the simulation.
@@ -45,15 +63,15 @@ pub(crate) struct Event<M> {
     pub kind: EventKind<M>,
 }
 
-/// The heap entry: ordering key plus the slab slot holding the payload.
-/// Only `(time, seq)` participate in the order — sifting moves three words
-/// instead of a full `Event<M>`, which for fat message enums is the bulk
-/// of the heap traffic.
+/// The delivery-heap entry: ordering key plus the arena handle holding the
+/// payload. Only `(time, seq)` participate in the order — sifting moves
+/// three words instead of a full message, which for fat message enums is
+/// the bulk of the heap traffic.
 #[derive(Clone, Copy, Debug)]
 struct HeapKey {
     time: Time,
     seq: u64,
-    slot: u32,
+    handle: Handle,
 }
 
 impl PartialEq for HeapKey {
@@ -73,31 +91,35 @@ impl Ord for HeapKey {
     }
 }
 
-/// A min-heap of events ordered by `(time, seq)`.
+/// A queue of events totally ordered by `(time, seq)`.
 ///
 /// The sequence number makes the order total and therefore the simulation
-/// deterministic: two events scheduled for the same instant fire in the order
-/// they were scheduled.
-///
-/// Internally the queue is split in two: a [`BinaryHeap`] of small
-/// [`HeapKey`]s that carries only the ordering key, and a slab of payloads
-/// (`slots`) addressed by the key's `slot` index. Freed slots are recycled
-/// through a free list, so steady-state simulation allocates nothing per
-/// event once the high-water mark is reached.
+/// deterministic: two events scheduled for the same instant fire in the
+/// order they were scheduled — including across the delivery/timer split,
+/// because [`pop`](Self::pop) compares the heads of both structures by the
+/// same key before committing to either.
 #[derive(Debug)]
 pub(crate) struct EventQueue<M> {
     heap: BinaryHeap<Reverse<HeapKey>>,
-    slots: Vec<Option<EventKind<M>>>,
-    free: Vec<u32>,
+    payloads: Arena<(NodeId, NodeId, M)>,
+    wheel: TimerWheel,
     next_seq: u64,
 }
 
 impl<M> EventQueue<M> {
+    #[cfg(test)]
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// An empty queue pre-sized for `cap` concurrently pending deliveries
+    /// — seeded from a scenario family's historical high-water mark
+    /// (`events_scheduled`) so repeated arms skip the warm-up growth.
+    pub fn with_capacity(cap: usize) -> Self {
         Self {
-            heap: BinaryHeap::new(),
-            slots: Vec::new(),
-            free: Vec::new(),
+            heap: BinaryHeap::with_capacity(cap),
+            payloads: Arena::with_capacity(cap),
+            wheel: TimerWheel::new(),
             next_seq: 0,
         }
     }
@@ -106,56 +128,177 @@ impl<M> EventQueue<M> {
     pub fn push(&mut self, time: Time, kind: EventKind<M>) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let slot = match self.free.pop() {
-            Some(slot) => {
-                self.slots[slot as usize] = Some(kind);
-                slot
+        match kind {
+            EventKind::Deliver { from, to, msg } => {
+                let handle = self.payloads.insert((from, to, msg));
+                self.heap.push(Reverse(HeapKey { time, seq, handle }));
             }
-            None => {
-                let slot = self.slots.len() as u32;
-                self.slots.push(Some(kind));
-                slot
-            }
-        };
-        self.heap.push(Reverse(HeapKey { time, seq, slot }));
+            EventKind::Timer {
+                node,
+                id,
+                tag,
+                epoch,
+            } => self.wheel.push(TimerEntry {
+                time,
+                seq,
+                node,
+                id,
+                tag,
+                epoch,
+            }),
+        }
         seq
     }
 
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<Event<M>> {
-        let Reverse(key) = self.heap.pop()?;
-        let kind = self.slots[key.slot as usize]
-            .take()
-            // Invariant: a slot stays occupied from push to the pop of its
-            // key — the free list only holds vacated slots.
-            .expect("heap key addressed an empty slot"); // lint:allow(unwrap-expect)
-        self.free.push(key.slot);
-        Some(Event {
-            time: key.time,
-            seq: key.seq,
-            kind,
-        })
+        let deliver = self.heap.peek().map(|Reverse(k)| (k.time, k.seq));
+        let take_deliver = match (deliver, self.wheel.peek()) {
+            (None, None) => return None,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            // Seqs are unique across both structures, so this never ties.
+            (Some(d), Some(t)) => d < t,
+        };
+        if take_deliver {
+            let Reverse(key) = self
+                .heap
+                .pop()
+                // Invariant: the head we just peeked is still there.
+                .expect("peeked delivery vanished"); // lint:allow(unwrap-expect)
+            let (from, to, msg) = self.payloads.take(key.handle);
+            Some(Event {
+                time: key.time,
+                seq: key.seq,
+                kind: EventKind::Deliver { from, to, msg },
+            })
+        } else {
+            let entry = self
+                .wheel
+                .pop()
+                // Invariant: the wheel head we just peeked is still there.
+                .expect("peeked timer vanished"); // lint:allow(unwrap-expect)
+            Some(Event {
+                time: entry.time,
+                seq: entry.seq,
+                kind: EventKind::Timer {
+                    node: entry.node,
+                    id: entry.id,
+                    tag: entry.tag,
+                    epoch: entry.epoch,
+                },
+            })
+        }
     }
 
     /// Returns the time of the earliest pending event without removing it.
     pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|Reverse(k)| k.time)
+        let deliver = self.heap.peek().map(|Reverse(k)| k.time);
+        let timer = self.wheel.peek().map(|(t, _)| t);
+        match (deliver, timer) {
+            (Some(d), Some(t)) => Some(d.min(t)),
+            (d, t) => d.or(t),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        // The heap and the payload arena are always the same size; count
+        // via the arena so its bookkeeping stays exercised in prod code.
+        self.payloads.len() + self.wheel.len()
     }
 
     /// `true` when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Total events ever scheduled on this queue — the deterministic
     /// volume proxy the perf gate pins (equals the next sequence number).
     pub fn scheduled(&self) -> u64 {
         self.next_seq
+    }
+}
+
+/// The pre-wheel queue, frozen for differential testing: one comparison
+/// heap over a payload slab, exactly as shipped by PR 5. The equivalence
+/// suite below replays random schedules through both implementations.
+#[cfg(test)]
+mod legacy {
+    use super::{Event, EventKind, Time};
+    use std::{cmp::Reverse, collections::BinaryHeap};
+
+    #[derive(Clone, Copy, Debug)]
+    struct HeapKey {
+        time: Time,
+        seq: u64,
+        slot: u32,
+    }
+
+    impl PartialEq for HeapKey {
+        fn eq(&self, other: &Self) -> bool {
+            self.time == other.time && self.seq == other.seq
+        }
+    }
+    impl Eq for HeapKey {}
+    impl PartialOrd for HeapKey {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for HeapKey {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            (self.time, self.seq).cmp(&(other.time, other.seq))
+        }
+    }
+
+    pub(super) struct LegacyEventQueue<M> {
+        heap: BinaryHeap<Reverse<HeapKey>>,
+        slots: Vec<Option<EventKind<M>>>,
+        free: Vec<u32>,
+        next_seq: u64,
+    }
+
+    impl<M> LegacyEventQueue<M> {
+        pub fn new() -> Self {
+            Self {
+                heap: BinaryHeap::new(),
+                slots: Vec::new(),
+                free: Vec::new(),
+                next_seq: 0,
+            }
+        }
+
+        pub fn push(&mut self, time: Time, kind: EventKind<M>) -> u64 {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let slot = match self.free.pop() {
+                Some(slot) => {
+                    self.slots[slot as usize] = Some(kind);
+                    slot
+                }
+                None => {
+                    let slot = self.slots.len() as u32;
+                    self.slots.push(Some(kind));
+                    slot
+                }
+            };
+            self.heap.push(Reverse(HeapKey { time, seq, slot }));
+            seq
+        }
+
+        pub fn pop(&mut self) -> Option<Event<M>> {
+            let Reverse(key) = self.heap.pop()?;
+            let kind = self.slots[key.slot as usize]
+                .take()
+                .expect("heap key addressed an empty slot");
+            self.free.push(key.slot);
+            Some(Event {
+                time: key.time,
+                seq: key.seq,
+                kind,
+            })
+        }
     }
 }
 
@@ -171,6 +314,15 @@ mod tests {
         }
     }
 
+    fn timer(node: usize, id: u64) -> EventKind<u32> {
+        EventKind::Timer {
+            node: NodeId(node),
+            id: TimerId(id),
+            tag: id,
+            epoch: 0,
+        }
+    }
+
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
@@ -182,10 +334,16 @@ mod tests {
     }
 
     #[test]
-    fn ties_break_by_insertion_order() {
+    fn ties_break_by_insertion_order_across_classes() {
         let mut q = EventQueue::new();
         for i in 0..100 {
-            q.push(5, deliver(i));
+            // Alternate deliveries and timers at the same instant: the
+            // merged pop must still follow scheduling order exactly.
+            if i % 2 == 0 {
+                q.push(5, deliver(i));
+            } else {
+                q.push(5, timer(i, i as u64));
+            }
         }
         let mut prev = None;
         while let Some(e) = q.pop() {
@@ -201,7 +359,7 @@ mod tests {
         let mut q = EventQueue::new();
         assert_eq!(q.peek_time(), None);
         q.push(42, deliver(0));
-        q.push(7, deliver(1));
+        q.push(7, timer(1, 0));
         assert_eq!(q.peek_time(), Some(7));
         assert_eq!(q.pop().unwrap().time, 7);
         assert_eq!(q.peek_time(), Some(42));
@@ -212,34 +370,34 @@ mod tests {
         let mut q = EventQueue::new();
         assert!(q.is_empty());
         q.push(1, deliver(0));
-        q.push(2, deliver(1));
+        q.push(2, timer(1, 0));
         assert_eq!(q.len(), 2);
         q.pop();
         assert_eq!(q.len(), 1);
     }
 
     #[test]
-    fn slots_are_recycled_through_the_free_list() {
+    fn payload_arena_is_recycled_through_the_free_list() {
         let mut q = EventQueue::new();
-        // Interleave pushes and pops: the slab must never grow past the
-        // high-water mark of concurrently pending events.
+        // Interleave pushes and pops: the arena must never grow past the
+        // high-water mark of concurrently pending deliveries.
         for round in 0..50u64 {
             q.push(round, deliver(0));
             q.push(round, deliver(1));
             q.pop().expect("pending");
         }
         assert!(
-            q.slots.len() <= 51,
-            "slab grew past the pending high-water mark: {} slots",
-            q.slots.len()
+            q.payloads.len() <= 51,
+            "arena holds more payloads than pending deliveries: {}",
+            q.payloads.len()
         );
         while q.pop().is_some() {}
         assert!(q.is_empty());
-        assert_eq!(q.free.len(), q.slots.len());
+        assert_eq!(q.payloads.len(), 0);
     }
 
     #[test]
-    fn payloads_survive_the_slab_round_trip() {
+    fn payloads_survive_the_round_trip() {
         let mut q = EventQueue::new();
         q.push(
             9,
@@ -271,5 +429,170 @@ mod tests {
             other => panic!("expected deliver, got {other:?}"),
         }
         assert_eq!(q.scheduled(), 2);
+    }
+
+    /// The satellite equivalence harness: random schedules of timers,
+    /// deliveries, cancels, and crashes through the wheel/arena queue and
+    /// the frozen PR 5 queue, asserting identical pop order and identical
+    /// streamed fingerprints of the *surviving* (uncancelled, epoch-live)
+    /// events — the exact filter `World::step` applies.
+    mod equivalence {
+        use super::super::legacy::LegacyEventQueue;
+        use super::*;
+        use proptest::collection::vec;
+        use proptest::prelude::*;
+        use std::collections::BTreeSet;
+
+        const NODES: usize = 4;
+
+        /// FNV-1a, the same fold the audit fingerprints stream through.
+        fn fnv(hash: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *hash ^= b as u64;
+                *hash = hash.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+
+        /// One generated op: `(kind, delay, node, knob)`.
+        type Op = (u8, u64, u8, u8);
+
+        /// Replays `ops` through both queues, world-filtering the merged
+        /// pop streams identically, and returns the two fingerprints.
+        fn replay(ops: &[Op]) -> (u64, u64) {
+            let mut new_q: EventQueue<u64> = EventQueue::new();
+            let mut old_q: LegacyEventQueue<u64> = LegacyEventQueue::new();
+            let mut now: Time = 0;
+            let mut next_timer = 0u64;
+            let mut next_msg = 0u64;
+            let mut issued: Vec<TimerId> = Vec::new();
+            let mut cancelled: BTreeSet<TimerId> = BTreeSet::new();
+            let mut epochs = [0u64; NODES];
+            let (mut new_hash, mut old_hash) = (0xcbf2_9ce4_8422_2325u64, 0xcbf2_9ce4_8422_2325u64);
+
+            let pop_both = |new_q: &mut EventQueue<u64>,
+                                old_q: &mut LegacyEventQueue<u64>,
+                                now: &mut Time,
+                                cancelled: &BTreeSet<TimerId>,
+                                epochs: &[u64; NODES],
+                                new_hash: &mut u64,
+                                old_hash: &mut u64|
+             -> bool {
+                let a = new_q.pop();
+                let b = old_q.pop();
+                let a_render = format!("{a:#?}");
+                let b_render = format!("{b:#?}");
+                assert_eq!(a_render, b_render, "pop streams diverged at t={now}");
+                let Some(event) = a else { return false };
+                *now = event.time;
+                // The world's liveness filter: cancelled timers and
+                // timers from a pre-crash epoch are skipped.
+                let survives = match event.kind {
+                    EventKind::Timer { node, id, epoch, .. } => {
+                        !cancelled.contains(&id) && epochs[node.0] == epoch
+                    }
+                    EventKind::Deliver { .. } => true,
+                };
+                if survives {
+                    fnv(new_hash, a_render.as_bytes());
+                    fnv(old_hash, b_render.as_bytes());
+                }
+                true
+            };
+
+            for &(kind, delay, node, knob) in ops {
+                let node = node as usize % NODES;
+                match kind % 5 {
+                    0 => {
+                        // A delivery `delay` ms out.
+                        let k = |msg| EventKind::Deliver {
+                            from: NodeId(node),
+                            to: NodeId((node + 1) % NODES),
+                            msg,
+                        };
+                        new_q.push(now + delay, k(next_msg));
+                        old_q.push(now + delay, k(next_msg));
+                        next_msg += 1;
+                    }
+                    1 => {
+                        // A timer; every 13th delay is stretched past the
+                        // wheel horizon to exercise the overflow list.
+                        let time = if delay % 13 == 0 {
+                            now + delay * 1_000_000_000
+                        } else {
+                            now + delay
+                        };
+                        let id = TimerId(next_timer);
+                        next_timer += 1;
+                        issued.push(id);
+                        let k = || EventKind::Timer {
+                            node: NodeId(node),
+                            id,
+                            tag: knob as u64,
+                            epoch: epochs[node],
+                        };
+                        new_q.push(time, k());
+                        old_q.push(time, k());
+                    }
+                    2 => {
+                        // Cancel a previously issued timer.
+                        if !issued.is_empty() {
+                            cancelled.insert(issued[knob as usize % issued.len()]);
+                        }
+                    }
+                    3 => {
+                        // Crash: bump the node's epoch so its pending
+                        // timers die on pop.
+                        epochs[node] += 1;
+                    }
+                    _ => {
+                        // Advance the clock by popping a burst.
+                        for _ in 0..=(knob % 4) {
+                            if !pop_both(
+                                &mut new_q,
+                                &mut old_q,
+                                &mut now,
+                                &cancelled,
+                                &epochs,
+                                &mut new_hash,
+                                &mut old_hash,
+                            ) {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            // Drain to empty: the tails must agree too.
+            while pop_both(
+                &mut new_q,
+                &mut old_q,
+                &mut now,
+                &cancelled,
+                &epochs,
+                &mut new_hash,
+                &mut old_hash,
+            ) {}
+            (new_hash, old_hash)
+        }
+
+        proptest! {
+            #[test]
+            fn wheel_arena_queue_matches_frozen_heap_queue(
+                ops in vec((0u8..5, 0u64..5000, 0u8..4, 0u8..8), 0..400)
+            ) {
+                let (new_hash, old_hash) = replay(&ops);
+                prop_assert_eq!(new_hash, old_hash);
+            }
+        }
+
+        #[test]
+        fn dense_same_instant_schedules_agree() {
+            // All five op kinds at delay 0: maximal tie-breaking stress.
+            let ops: Vec<Op> = (0..200)
+                .map(|i| ((i % 5) as u8, 0, (i % 3) as u8, (i % 8) as u8))
+                .collect();
+            let (new_hash, old_hash) = replay(&ops);
+            assert_eq!(new_hash, old_hash);
+        }
     }
 }

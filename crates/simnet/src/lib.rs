@@ -43,9 +43,11 @@
 //! assert_eq!(world.app(NodeId(1)).got, Some(NodeId(0)));
 //! ```
 
+pub(crate) mod arena;
 pub mod event;
 pub mod net;
 pub mod trace;
+pub(crate) mod wheel;
 pub mod world;
 
 pub use event::{Time, TimerId};

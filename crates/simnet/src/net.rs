@@ -151,8 +151,13 @@ pub struct Net {
     next_rule: u64,
     degrades: BTreeMap<DegradeRuleId, (BTreeSet<(NodeId, NodeId)>, DegradeRule)>,
     next_degrade: u64,
-    /// Last scheduled delivery time per directed link, for FIFO enforcement.
-    link_last: BTreeMap<(NodeId, NodeId), Time>,
+    /// Last scheduled delivery time per directed link, for FIFO
+    /// enforcement: a dense src-major matrix (`src * n + dst`) grown on
+    /// first contact with a node id, so the per-send lookup is one index
+    /// instead of a `BTreeMap` walk on the hottest path in the simulator.
+    link_last: Vec<Time>,
+    /// Current side length of the `link_last` matrix.
+    link_nodes: usize,
 }
 
 impl Net {
@@ -163,8 +168,25 @@ impl Net {
             next_rule: 0,
             degrades: BTreeMap::new(),
             next_degrade: 0,
-            link_last: BTreeMap::new(),
+            link_last: Vec::new(),
+            link_nodes: 0,
         }
+    }
+
+    /// Grows the FIFO matrix to cover node ids up to `max_id`, preserving
+    /// the recorded per-link times (a fresh link starts at 0, exactly the
+    /// value the old map's `or_insert(0)` supplied).
+    fn grow_link_matrix(&mut self, max_id: usize) {
+        let n = max_id + 1;
+        let old_n = self.link_nodes;
+        let mut grown = vec![0; n * n];
+        for src in 0..old_n {
+            for dst in 0..old_n {
+                grown[src * n + dst] = self.link_last[src * old_n + dst];
+            }
+        }
+        self.link_last = grown;
+        self.link_nodes = n;
     }
 
     /// Installs a rule dropping traffic for every directed pair in `pairs`.
@@ -299,7 +321,10 @@ impl Net {
         let extra = self.degrade_delay(now, src, dst, rng);
         let mut at = now + self.config.base_latency + jitter + extra;
         if self.config.fifo {
-            let last = self.link_last.entry((src, dst)).or_insert(0);
+            if src.0 >= self.link_nodes || dst.0 >= self.link_nodes {
+                self.grow_link_matrix(src.0.max(dst.0));
+            }
+            let last = &mut self.link_last[src.0 * self.link_nodes + dst.0];
             if at < *last {
                 at = *last;
             }

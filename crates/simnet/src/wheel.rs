@@ -1,0 +1,395 @@
+//! A deterministic hierarchical timer wheel over virtual time.
+//!
+//! Timers are the bulk of queue traffic in timer-heavy workloads, and a
+//! comparison heap pays `O(log n)` sift work per timer. This wheel makes
+//! push amortised `O(1)`: six levels of 64 power-of-two buckets cover any
+//! delay below 2^36 virtual milliseconds, and a timer lands in the bucket
+//! whose span matches the highest bit in which its deadline differs from
+//! the wheel's `elapsed` floor (the scheme tokio's wheel uses). Farther
+//! deadlines sit in an `overflow` list that is pulled back in (rebased)
+//! when the wheel drains.
+//!
+//! Determinism contract: pops come out in exactly `(time, seq)` order —
+//! the same total order the old `BinaryHeap` produced — so simulations
+//! are byte-identical before and after the swap. Two rules keep that
+//! order exact:
+//!
+//! 1. **`elapsed` advances only inside [`TimerWheel::pop`]**, never on
+//!    peek. A pop is driven by the world clock reaching the popped time,
+//!    so every later push is `>= elapsed`; advancing eagerly on peek
+//!    would strand later pushes that land between `now` and the peeked
+//!    deadline in already-passed buckets.
+//! 2. **[`TimerWheel::peek`] is served from an exact cached minimum**
+//!    (`next`), updated on push by comparison and recomputed after each
+//!    pop by a bitmask scan — the first occupied bucket on the lowest
+//!    occupied level always contains the global minimum, because a
+//!    level-k bucket's span lies strictly before every occupied
+//!    higher-level bucket's span.
+//!
+//! Level-0 buckets hold a single absolute time and are kept sorted by
+//! `seq`: direct pushes arrive in ascending seq order (sequence numbers
+//! are issued monotonically and a direct push can only target the
+//! *current* 64 ms window), and a cascade sorts its drained entries once
+//! before redistributing. Popping is therefore a cursor bump — no scan.
+//! Higher-level buckets stay unordered; they are only touched once per
+//! cascade. Steady state allocates nothing once every visited bucket has
+//! reached its high-water capacity.
+
+use crate::event::{Time, TimerId};
+use crate::NodeId;
+
+/// log2 of the number of slots per level.
+const SLOT_BITS: usize = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Number of levels; level `k` buckets span `64^k` milliseconds each.
+const LEVELS: usize = 6;
+
+/// One pending timer, stored inline in its bucket (timers carry no
+/// message payload, so there is nothing to arena out-of-line).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct TimerEntry {
+    pub time: Time,
+    pub seq: u64,
+    pub node: NodeId,
+    pub id: TimerId,
+    pub tag: u64,
+    pub epoch: u64,
+}
+
+/// The hierarchical wheel. See the module docs for the invariants.
+#[derive(Debug)]
+pub(crate) struct TimerWheel {
+    /// `LEVELS x SLOTS` buckets; the fixed-size array keeps every
+    /// `[level][slot & 63]` access provably in range (no bounds checks
+    /// on the hot path).
+    buckets: Box<[[Vec<TimerEntry>; SLOTS]; LEVELS]>,
+    /// Per-level occupancy bitmask: bit `s` set iff bucket `s` has
+    /// unconsumed entries. Bits below the level's current slot are
+    /// always clear.
+    occupied: [u64; LEVELS],
+    /// Per-slot consumption cursor for level 0: entries below the cursor
+    /// are already popped. The bucket is cleared (and the cursor reset)
+    /// when the last entry goes.
+    heads: [u32; SLOTS],
+    /// Timers beyond the wheel's 2^36 ms horizon, rebased in when the
+    /// wheel itself drains.
+    overflow: Vec<TimerEntry>,
+    /// The wheel's time floor: every stored entry (and every future
+    /// push) has `time >= elapsed`. Advanced only by `pop`.
+    elapsed: Time,
+    /// Exact `(time, seq)` of the earliest pending entry.
+    next: Option<(Time, u64)>,
+    len: usize,
+}
+
+impl TimerWheel {
+    pub fn new() -> Self {
+        Self {
+            buckets: Box::new(std::array::from_fn(|_| std::array::from_fn(|_| Vec::new()))),
+            occupied: [0; LEVELS],
+            heads: [0; SLOTS],
+            overflow: Vec::new(),
+            elapsed: 0,
+            next: None,
+            len: 0,
+        }
+    }
+
+    /// Number of pending timers.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `(time, seq)` of the earliest pending timer, if any. Exact and
+    /// non-mutating: served from the cached minimum.
+    pub fn peek(&self) -> Option<(Time, u64)> {
+        self.next
+    }
+
+    /// Schedules `entry`. Requires `entry.time >= self.elapsed`, which the
+    /// world guarantees: timers are set at `now + delay` and `elapsed`
+    /// never runs ahead of the last popped (≤ current) time.
+    pub fn push(&mut self, entry: TimerEntry) {
+        debug_assert!(entry.time >= self.elapsed, "timer scheduled before the wheel floor");
+        if self
+            .next
+            .map_or(true, |best| (entry.time, entry.seq) < best)
+        {
+            self.next = Some((entry.time, entry.seq));
+        }
+        self.len += 1;
+        self.place(entry);
+    }
+
+    /// Removes and returns the earliest pending timer.
+    pub fn pop(&mut self) -> Option<TimerEntry> {
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            // Level 0 first: its earliest occupied bucket holds the
+            // global minimum at a single absolute time.
+            let cur0 = (self.elapsed as usize) & (SLOTS - 1);
+            let mask0 = (self.occupied[0] >> cur0) << cur0;
+            if mask0 != 0 {
+                let slot = mask0.trailing_zeros() as usize & (SLOTS - 1);
+                let bucket = &mut self.buckets[0][slot];
+                // The bucket is sorted by seq (see the module docs), so
+                // the minimum is at the cursor and the runner-up right
+                // behind it — popping is a cursor bump, no scan.
+                let head = self.heads[slot] as usize;
+                let entry = bucket[head];
+                self.elapsed = entry.time;
+                self.len -= 1;
+                debug_assert_eq!(self.next, Some((entry.time, entry.seq)));
+                if head + 1 == bucket.len() {
+                    bucket.clear();
+                    self.heads[slot] = 0;
+                    self.occupied[0] &= !(1u64 << slot);
+                    self.recompute_next();
+                } else {
+                    self.heads[slot] = (head + 1) as u32;
+                    self.next = Some((entry.time, bucket[head + 1].seq));
+                }
+                return Some(entry);
+            }
+            if self.cascade_earliest() {
+                continue;
+            }
+            self.rebase_overflow();
+        }
+    }
+
+    /// Drains the earliest occupied bucket on the lowest occupied level
+    /// `>= 1` into lower levels, advancing `elapsed` to the bucket's
+    /// start. Returns `false` when every level is empty.
+    fn cascade_earliest(&mut self) -> bool {
+        for level in 1..LEVELS {
+            let cur = ((self.elapsed >> (SLOT_BITS * level)) as usize) & (SLOTS - 1);
+            let mask = (self.occupied[level] >> cur) << cur;
+            if mask == 0 {
+                continue;
+            }
+            let slot = mask.trailing_zeros() as usize & (SLOTS - 1);
+            self.occupied[level] &= !(1u64 << slot);
+            // The bucket's span starts at the level's window base plus
+            // `slot` spans; every entry inside differs from that start
+            // only below bit `SLOT_BITS * level`, so it redistributes
+            // strictly downward.
+            let window = 1u64 << (SLOT_BITS * (level + 1));
+            let base = self.elapsed & !(window - 1);
+            self.elapsed = base + ((slot as u64) << (SLOT_BITS * level));
+            let mut drained = std::mem::take(&mut self.buckets[level][slot]);
+            // Redistribute in seq order so level-0 targets receive
+            // ascending seqs and stay sorted by pure appends.
+            drained.sort_unstable_by_key(|e| e.seq);
+            for entry in drained.drain(..) {
+                self.place(entry);
+            }
+            // Hand the (now empty) vec back so the bucket keeps its
+            // capacity for the next pass around the wheel.
+            self.buckets[level][slot] = drained;
+            return true;
+        }
+        false
+    }
+
+    /// Every level is empty but timers remain: move the floor to the
+    /// earliest overflow deadline and pull newly-in-range entries in.
+    fn rebase_overflow(&mut self) {
+        debug_assert!(!self.overflow.is_empty(), "wheel len out of sync");
+        let mut min_time = Time::MAX;
+        for entry in &self.overflow {
+            min_time = min_time.min(entry.time);
+        }
+        self.elapsed = min_time;
+        let mut i = 0;
+        while i < self.overflow.len() {
+            if level_of(self.overflow[i].time, self.elapsed) < LEVELS {
+                let entry = self.overflow.swap_remove(i);
+                self.place(entry);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Files `entry` into the bucket selected by the highest bit in which
+    /// its deadline differs from `elapsed`, or into `overflow` when that
+    /// bit is beyond the wheel's horizon.
+    fn place(&mut self, entry: TimerEntry) {
+        let level = level_of(entry.time, self.elapsed);
+        if level >= LEVELS {
+            self.overflow.push(entry);
+            return;
+        }
+        let slot = ((entry.time >> (SLOT_BITS * level)) as usize) & (SLOTS - 1);
+        self.occupied[level] |= 1u64 << slot;
+        let bucket = &mut self.buckets[level][slot];
+        if level == 0 {
+            // Keep level-0 buckets sorted by seq. Direct pushes and
+            // sorted cascades always append; only an overflow rebase can
+            // arrive out of order (its entries move in storage order).
+            if bucket.last().is_some_and(|last| entry.seq < last.seq) {
+                let pos = bucket.partition_point(|e| e.seq < entry.seq);
+                debug_assert!(pos >= self.heads[slot] as usize);
+                bucket.insert(pos, entry);
+                return;
+            }
+        }
+        bucket.push(entry);
+    }
+
+    /// Rebuilds the cached minimum after a pop: the first occupied bucket
+    /// on the lowest occupied level contains the global minimum (its span
+    /// precedes every other occupied bucket's span); failing that, the
+    /// minimum lives in `overflow` (whose deadlines are all beyond every
+    /// in-wheel deadline).
+    fn recompute_next(&mut self) {
+        if self.len == 0 {
+            self.next = None;
+            return;
+        }
+        for level in 0..LEVELS {
+            let cur = ((self.elapsed >> (SLOT_BITS * level)) as usize) & (SLOTS - 1);
+            let mask = (self.occupied[level] >> cur) << cur;
+            if mask == 0 {
+                continue;
+            }
+            let slot = mask.trailing_zeros() as usize & (SLOTS - 1);
+            let bucket = &self.buckets[level][slot];
+            if level == 0 {
+                // Sorted bucket: the cursor element is the minimum.
+                let e = &bucket[self.heads[slot] as usize];
+                self.next = Some((e.time, e.seq));
+                return;
+            }
+            let mut best = (bucket[0].time, bucket[0].seq);
+            for entry in &bucket[1..] {
+                if (entry.time, entry.seq) < best {
+                    best = (entry.time, entry.seq);
+                }
+            }
+            self.next = Some(best);
+            return;
+        }
+        let mut best: Option<(Time, u64)> = None;
+        for entry in &self.overflow {
+            if best.map_or(true, |b| (entry.time, entry.seq) < b) {
+                best = Some((entry.time, entry.seq));
+            }
+        }
+        debug_assert!(best.is_some(), "wheel len out of sync with storage");
+        self.next = best;
+    }
+}
+
+/// The level whose bucket span matches the highest differing bit between
+/// `time` and the floor; `>= LEVELS` means beyond the wheel's horizon.
+fn level_of(time: Time, elapsed: Time) -> usize {
+    let diff = time ^ elapsed;
+    if diff == 0 {
+        0
+    } else {
+        (63 - diff.leading_zeros() as usize) / SLOT_BITS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(time: Time, seq: u64) -> TimerEntry {
+        TimerEntry {
+            time,
+            seq,
+            node: NodeId(0),
+            id: TimerId(seq),
+            tag: 0,
+            epoch: 0,
+        }
+    }
+
+    fn drain(wheel: &mut TimerWheel) -> Vec<(Time, u64)> {
+        std::iter::from_fn(|| wheel.pop().map(|e| (e.time, e.seq))).collect()
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order_across_levels() {
+        let mut w = TimerWheel::new();
+        // Same-bucket, cross-bucket, cross-level, and overflow deadlines.
+        let times = [5, 5, 63, 64, 100, 4095, 4096, 1 << 20, (1 << 36) + 7];
+        for (seq, &t) in times.iter().enumerate() {
+            w.push(entry(t, seq as u64));
+        }
+        let mut expect: Vec<(Time, u64)> =
+            times.iter().enumerate().map(|(s, &t)| (t, s as u64)).collect();
+        expect.sort();
+        assert_eq!(drain(&mut w), expect);
+    }
+
+    #[test]
+    fn peek_always_matches_the_next_pop() {
+        let mut w = TimerWheel::new();
+        for seq in 0..200u64 {
+            // A deterministic scatter of deadlines, including collisions.
+            w.push(entry((seq * 37) % 150, seq));
+        }
+        while let Some(peeked) = w.peek() {
+            let popped = w.pop().map(|e| (e.time, e.seq));
+            assert_eq!(popped, Some(peeked));
+        }
+        assert_eq!(w.len(), 0);
+    }
+
+    #[test]
+    fn late_pushes_between_now_and_a_far_deadline_stay_ordered() {
+        let mut w = TimerWheel::new();
+        w.push(entry(5000, 0)); // far: would sit at level >= 2
+        w.push(entry(3, 1));
+        assert_eq!(w.pop().map(|e| e.seq), Some(1));
+        // now == 3; the regression this guards: an eager cascade toward
+        // 5000 would have advanced the floor past 30.
+        w.push(entry(30, 2));
+        w.push(entry(4000, 3));
+        assert_eq!(drain(&mut w), vec![(30, 2), (4000, 3), (5000, 0)]);
+    }
+
+    #[test]
+    fn overflow_rebases_when_the_wheel_drains() {
+        let mut w = TimerWheel::new();
+        let far = (1u64 << 36) + 123;
+        w.push(entry(far, 0));
+        w.push(entry(far + 50, 1));
+        w.push(entry(1, 2));
+        assert_eq!(drain(&mut w), vec![(1, 2), (far, 0), (far + 50, 1)]);
+    }
+
+    #[test]
+    fn interleaved_push_pop_matches_a_reference_heap() {
+        use std::collections::BinaryHeap;
+        let mut w = TimerWheel::new();
+        let mut reference: BinaryHeap<std::cmp::Reverse<(Time, u64)>> = BinaryHeap::new();
+        let mut now: Time = 0;
+        let mut state: u64 = 0x9e37_79b9_7f4a_7c15;
+        for seq in 0..5000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let delay = state >> 52; // 0..4096
+            w.push(entry(now + delay, seq));
+            reference.push(std::cmp::Reverse((now + delay, seq)));
+            if state & 1 == 0 {
+                let got = w.pop().map(|e| (e.time, e.seq));
+                let want = reference.pop().map(|r| r.0);
+                assert_eq!(got, want);
+                if let Some((t, _)) = got {
+                    now = t;
+                }
+            }
+        }
+        while let Some(std::cmp::Reverse(want)) = reference.pop() {
+            assert_eq!(w.pop().map(|e| (e.time, e.seq)), Some(want));
+        }
+        assert_eq!(w.pop().map(|e| (e.time, e.seq)), None);
+    }
+}

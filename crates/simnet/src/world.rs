@@ -79,7 +79,10 @@ pub struct Ctx<'a, M> {
     now: Time,
     rng: &'a mut StdRng,
     next_timer: &'a mut u64,
-    actions: Vec<Action<M>>,
+    /// Borrowed from the world's reusable buffer: handler effects append
+    /// here and are drained by `apply_actions`, so the steady-state
+    /// delivery path allocates no fresh `Vec` per handler call.
+    actions: &'a mut Vec<Action<M>>,
 }
 
 impl<'a, M> Ctx<'a, M> {
@@ -164,6 +167,7 @@ pub struct WorldBuilder {
     link: LinkConfig,
     record_trace: bool,
     purge_in_flight_on_crash: bool,
+    event_capacity: usize,
 }
 
 impl WorldBuilder {
@@ -175,7 +179,21 @@ impl WorldBuilder {
             link: LinkConfig::default(),
             record_trace: false,
             purge_in_flight_on_crash: false,
+            event_capacity: 0,
         }
+    }
+
+    /// Pre-sizes the event queue for `cap` concurrently pending events.
+    ///
+    /// Scenario families pass their historical high-water mark (measured
+    /// via [`World::events_scheduled`]) so repeated arms of a campaign
+    /// skip the queue's warm-up reallocations. A hint that is too small
+    /// is only a missed optimisation, never a behaviour change — the
+    /// capacity is an explicit constant rather than a learned cache so
+    /// back-to-back runs of the same arm stay allocation-identical.
+    pub fn event_capacity(mut self, cap: usize) -> Self {
+        self.event_capacity = cap;
+        self
     }
 
     /// Overrides the link latency model.
@@ -209,7 +227,7 @@ impl WorldBuilder {
                     epoch: 0,
                 })
                 .collect(),
-            queue: EventQueue::new(),
+            queue: EventQueue::with_capacity(self.event_capacity),
             next_timer: 0,
             now: 0,
             rng: StdRng::seed_from_u64(self.seed),
@@ -217,6 +235,7 @@ impl WorldBuilder {
             cancelled: BTreeSet::new(),
             trace: Trace::new(self.record_trace),
             purge_in_flight_on_crash: self.purge_in_flight_on_crash,
+            action_buf: Vec::new(),
         };
         for i in 0..n {
             world.with_handler(NodeId(i), |app, ctx| app.on_start(ctx));
@@ -237,6 +256,8 @@ pub struct World<A: Application> {
     cancelled: BTreeSet<TimerId>,
     trace: Trace,
     purge_in_flight_on_crash: bool,
+    /// Reusable handler-effect buffer; see `with_handler`.
+    action_buf: Vec<Action<A::Msg>>,
 }
 
 impl<A: Application> World<A> {
@@ -390,22 +411,27 @@ impl<A: Application> World<A> {
 
     /// Runs `f` with a ctx for node `id` and applies resulting actions.
     fn with_handler<R>(&mut self, id: NodeId, f: impl FnOnce(&mut A, &mut Ctx<'_, A::Msg>) -> R) -> R {
+        // Reuse the world's action buffer across handler calls: `take`
+        // leaves an empty Vec behind (no allocation), the buffer is
+        // drained by `apply_actions`, and its capacity survives for the
+        // next call.
+        let mut actions = std::mem::take(&mut self.action_buf);
         let mut ctx = Ctx {
             id,
             now: self.now,
             rng: &mut self.rng,
             next_timer: &mut self.next_timer,
-            actions: Vec::new(),
+            actions: &mut actions,
         };
         let r = f(&mut self.slots[id.0].app, &mut ctx);
-        let actions = ctx.actions;
-        self.apply_actions(id, actions);
+        self.apply_actions(id, &mut actions);
+        self.action_buf = actions;
         r
     }
 
-    fn apply_actions(&mut self, from: NodeId, actions: Vec<Action<A::Msg>>) {
+    fn apply_actions(&mut self, from: NodeId, actions: &mut Vec<Action<A::Msg>>) {
         let src_epoch = self.slots[from.0].epoch;
-        for a in actions {
+        for a in actions.drain(..) {
             match a {
                 Action::Send { to, msg } => {
                     self.trace.counters.sent += 1;
@@ -500,11 +526,15 @@ impl<A: Application> World<A> {
                     return true;
                 }
                 self.trace.counters.timers_fired += 1;
-                self.trace.push(TraceEvent::TimerFired {
-                    at: self.now,
-                    node,
-                    tag,
-                });
+                // Guarded like the delivery sites: skip even constructing
+                // the trace event when nothing records it.
+                if self.trace.recording() {
+                    self.trace.push(TraceEvent::TimerFired {
+                        at: self.now,
+                        node,
+                        tag,
+                    });
+                }
                 self.with_handler(node, |app, ctx| app.on_timer(ctx, id, tag));
             }
         }

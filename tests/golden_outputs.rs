@@ -162,6 +162,31 @@ fn fleet_bench_artifact_matches_the_registry_shape() {
         !json.contains("\"byte_identical\": false"),
         "a recorded fleet run diverged from serial — that is a determinism bug"
     );
+    // Work-stealing grid counters for the top (8-job) campaign rung.
+    // `workers`, `batch`, and `batches` are pure functions of
+    // `(jobs, scenarios x seeds)`, so their exact values are pinned; the
+    // `steals` count depends on OS scheduling and only its presence is.
+    let items = neat_repro::campaign::scenario_count() * 8;
+    let batch = (items / (8 * 4)).clamp(1, 64);
+    let batches: usize = (0..8)
+        .map(|w| {
+            let chunk = (w + 1) * items / 8 - w * items / 8;
+            chunk.div_ceil(batch)
+        })
+        .sum();
+    expect("\"grid\": {".to_string());
+    expect("\"workers\": 8".to_string());
+    expect(format!("\"batch\": {batch}"));
+    expect(format!("\"batches\": {batches}"));
+    expect("\"steals\": ".to_string());
+    // The high-resolution §5.4 detection curve: 32 exploration seeds, one
+    // probability point per trial budget. The curve is a pure function of
+    // the seed list; pin its shape anchors (monotone 0→1 envelope).
+    expect("\"detection_curve\": {".to_string());
+    expect("\"sweep_seeds\": 32".to_string());
+    expect("\"trials\": 40".to_string());
+    expect("\"points\": [".to_string());
+    expect("1.000".to_string());
 }
 
 #[test]
